@@ -1,0 +1,28 @@
+# Convenience targets for the repro repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments quick results archive clean
+
+install:
+	pip install -e .[test]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments --out results --report results/SCORECARD.md
+
+quick:
+	$(PYTHON) -m repro.experiments --quick
+
+# Materialize the synthesized workloads archive as .swf.gz files.
+archive:
+	$(PYTHON) -c "from repro.archive import export_archive; export_archive('archive_swf', include_sublogs=True)"
+
+clean:
+	rm -rf results archive_swf .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Every table/figure of the paper has one benchmark module that regenerates
+it and asserts its headline findings; ablation modules cover the design
+choices DESIGN.md §6 calls out.  Heavy experiment benches run a single
+round (they are end-to-end regenerations, not micro-benchmarks); the
+micro benches of the core primitives use pytest-benchmark's defaults.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the core primitives (performance tracking).
+
+These benchmark the hot paths a downstream user exercises most: the MDS
+solve, arrow fitting, fGn generation, the Hurst estimators, the log
+synthesizer and the model generators.  They use pytest-benchmark's
+default multi-round timing (the operations are fast).
+"""
+
+import numpy as np
+import pytest
+
+from repro.archive import synthesize_workload
+from repro.coplot import Coplot, pairwise_dissimilarity, smallest_space_analysis
+from repro.coplot.mds.base import pairwise_euclidean
+from repro.models import LublinModel
+from repro.selfsim import estimate_hurst, fgn
+
+pytestmark = pytest.mark.benchmark(group="core")
+
+
+@pytest.fixture(scope="module")
+def figure1_matrix():
+    from repro.experiments.common import FIGURE1_SIGNS, production_matrix
+
+    y, labels = production_matrix(FIGURE1_SIGNS)
+    return y, labels, list(FIGURE1_SIGNS)
+
+
+class TestCoplotCore:
+    def test_bench_full_coplot_fit(self, benchmark, figure1_matrix):
+        y, labels, signs = figure1_matrix
+        result = benchmark(lambda: Coplot().fit(y, labels=labels, signs=signs))
+        assert result.alienation < 0.15
+
+    def test_bench_ssa_solve(self, benchmark):
+        rng = np.random.default_rng(0)
+        d = pairwise_euclidean(rng.normal(size=(18, 5)))
+        result = benchmark(lambda: smallest_space_analysis(d, n_init=4))
+        assert result.coords.shape == (18, 2)
+
+    def test_bench_dissimilarity_matrix(self, benchmark):
+        rng = np.random.default_rng(1)
+        z = rng.normal(size=(100, 20))
+        s = benchmark(lambda: pairwise_dissimilarity(z))
+        assert s.shape == (100, 100)
+
+
+class TestSelfsimCore:
+    def test_bench_fgn_generation(self, benchmark):
+        x = benchmark(lambda: fgn(2**15, 0.8, seed=0))
+        assert x.shape == (2**15,)
+
+    @pytest.mark.parametrize("method", ["rs", "variance", "periodogram", "whittle"])
+    def test_bench_hurst_estimator(self, benchmark, method):
+        x = fgn(2**14, 0.75, seed=1)
+        est = benchmark(lambda: estimate_hurst(x, method))
+        assert 0.5 < est.h < 1.0
+
+
+class TestGenerationCore:
+    def test_bench_synthesize_log(self, benchmark):
+        w = benchmark(lambda: synthesize_workload("CTC", n_jobs=20000, seed=0))
+        assert len(w) == 20000
+
+    def test_bench_lublin_generate(self, benchmark):
+        model = LublinModel()
+        w = benchmark(lambda: model.generate(10000, seed=0))
+        assert len(w) == 10000

@@ -1,0 +1,99 @@
+"""Benchmarks for the extension systems: the parametric model, the
+scheduler simulator, and the self-similarity impact experiment."""
+
+import pytest
+
+from repro.experiments import run_parametric_model, run_scheduling
+
+pytestmark = pytest.mark.benchmark(group="extensions")
+
+
+class TestParametricModel:
+    def test_bench_paramodel(self, run_once):
+        """Fit + leave-one-out + generate + map the §8 parametric model."""
+        result = run_once(run_parametric_model, n_jobs=8000, seed=0)
+        failed = [c.render() for c in result.claims if not c.holds]
+        assert not failed, "\n".join(failed)
+
+
+class TestScheduling:
+    def test_bench_scheduling(self, run_once):
+        """The self-similarity impact study plus the flexibility sweeps."""
+        result = run_once(run_scheduling, n_jobs=4000, seed=0)
+        failed = [c.render() for c in result.claims if not c.holds]
+        assert not failed, "\n".join(failed)
+        # The headline number: the burst penalty factor.
+        penalty = result.selfsim_metrics.mean_wait / max(
+            result.shuffled_metrics.mean_wait, 1.0
+        )
+        assert penalty > 1.3
+
+
+class TestSimulatorThroughput:
+    def test_bench_easy_simulation(self, benchmark):
+        """Raw simulator throughput: EASY over a 4000-job stream."""
+        from repro.archive import synthesize_workload
+        from repro.experiments.load_alteration import scale_workload
+        from repro.scheduler import EasyBackfillScheduler, simulate
+
+        w = scale_workload(
+            synthesize_workload("KTH", n_jobs=4000, seed=0),
+            field="interarrival",
+            factor=1.5,
+        )
+        result = benchmark(lambda: simulate(w, EasyBackfillScheduler()))
+        assert result.submit.shape[0] == 4000
+
+
+class TestUserSessionModel:
+    def test_bench_usersession_generation(self, benchmark):
+        """Closed-loop session generation throughput + its self-similarity
+        by-product (heavy-tailed sessions -> LRD arrival counts)."""
+        from repro.models import UserSessionModel
+
+        model = UserSessionModel(session_tail=1.2)
+        w = benchmark(lambda: model.generate(20000, seed=1))
+        assert len(w) == 20000
+
+
+class TestAnomalyAudit:
+    def test_bench_audit(self, benchmark):
+        """Full Section 1 integrity audit of a 20k-job log."""
+        from repro.archive import synthesize_workload
+        from repro.workload import audit_workload
+
+        w = synthesize_workload("SDSC", n_jobs=20000, seed=0)
+        report = benchmark(lambda: audit_workload(w))
+        assert report.limits.total == 0
+
+
+class TestAlienationScaling:
+    def test_bench_alienation_large(self, benchmark):
+        """Guttman mu over 7140 pairs (a 120-observation map) through the
+        chunked accumulation path."""
+        import numpy as np
+
+        from repro.coplot import monotonicity_coefficient
+        from repro.coplot.mds.base import pairwise_euclidean, upper_triangle
+
+        rng = np.random.default_rng(0)
+        d = upper_triangle(pairwise_euclidean(rng.normal(size=(120, 4))))
+        s = d**1.3
+        mu = benchmark(lambda: monotonicity_coefficient(s, d))
+        assert mu == 1.0
+
+
+class TestModelValidation:
+    def test_bench_rank_models(self, run_once):
+        """Rank all five models against a CTC-like trace (the Figure 4
+        verdict as an API): Jann, fitted to CTC, must win."""
+        from repro.archive import synthesize_workload
+        from repro.models import rank_models
+
+        def run():
+            ctc = synthesize_workload("CTC", n_jobs=8000, seed=0)
+            return rank_models(ctc, n_jobs=8000, seed=0)
+
+        ranked = run_once(run)
+        assert ranked[0].model_name == "Jann"
+        assert ranked[0].score() < ranked[-1].score()

@@ -1,0 +1,65 @@
+"""Benchmarks regenerating the paper's Figures 1-5.
+
+Each bench reruns the corresponding Co-plot analysis end to end and
+asserts the figure's qualitative reading (cluster structure, who matches
+whom, production/model separation).
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+)
+
+pytestmark = pytest.mark.benchmark(group="figures")
+
+
+def assert_all_claims(result):
+    claims = result.claims() if callable(getattr(result, "claims")) else result.claims
+    failed = [c.render() for c in claims if not c.holds]
+    assert not failed, "\n".join(failed)
+
+
+class TestFigure1:
+    def test_bench_figure1(self, run_once):
+        """Figure 1: Co-plot of all production workloads; Θ≈0.07,
+        avg r≈0.88, four variable clusters, batch outliers."""
+        result = run_once(run_figure1)
+        assert_all_claims(result)
+        assert result.coplot.alienation <= 0.12
+
+
+class TestFigure2:
+    def test_bench_figure2(self, run_once):
+        """Figure 2: without batch outliers; third cluster dissolves,
+        interactive workloads form the only observation cluster."""
+        result = run_once(run_figure2)
+        assert_all_claims(result)
+
+
+class TestFigure3:
+    def test_bench_figure3(self, run_once):
+        """Figure 3: workloads over time; SDSC stationary, LANL year 2
+        outliers."""
+        result = run_once(run_figure3)
+        assert_all_claims(result)
+
+
+class TestFigure4:
+    def test_bench_figure4(self, run_once):
+        """Figure 4: production vs models; Lublin central (matching LLNL),
+        Downey/Feitelson on interactive+NASA, Jann on CTC/KTH."""
+        result = run_once(run_figure4, n_jobs=8000, seed=0)
+        assert_all_claims(result)
+
+
+class TestFigure5:
+    def test_bench_figure5(self, run_once):
+        """Figure 5: Co-plot of the Hurst-estimate matrix; every arrow
+        points at the production side."""
+        result = run_once(run_figure5, n_jobs=8000, seed=0)
+        assert_all_claims(result)

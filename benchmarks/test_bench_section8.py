@@ -1,0 +1,31 @@
+"""Benchmarks for the Section 8 analyses: the parameterization search and
+the load-alteration ablation."""
+
+import pytest
+
+from repro.experiments import run_load_alteration, run_parameterization
+
+pytestmark = pytest.mark.benchmark(group="section8")
+
+
+class TestParameterization:
+    def test_bench_parameterization(self, run_once):
+        """Exhaustive 3-subset search over the candidate variables; the
+        paper's triple {AL, Pm, Im} must score excellently."""
+        result = run_once(run_parameterization)
+        assert result.paper_triple_score.alienation <= 0.10
+        assert result.paper_triple_score.average_correlation >= 0.85
+        assert result.best.average_correlation >= result.paper_triple_score.average_correlation - 1e-9
+
+
+class TestLoadAlteration:
+    def test_bench_load_alteration(self, run_once):
+        """The three naive load-raising techniques and their side effects."""
+        result = run_once(run_load_alteration, n_jobs=8000, seed=0)
+        # All techniques do raise the load...
+        for load in result.technique_loads.values():
+            assert load > result.baseline_load
+        # ...but condensing inter-arrivals moves Im against the observed
+        # positive load/Im correlation (the paper's contradiction).
+        assert result.observed_correlations["load vs inter-arrival median (RL, Im)"] > 0
+        assert result.technique_effects["condense inter-arrivals (x1/f)"]["Im"] < 1.0

@@ -1,0 +1,43 @@
+"""Benchmarks regenerating the paper's Tables 1, 2 and 3.
+
+Each bench times the full regeneration (synthesis + extraction /
+estimation) and asserts the table's headline shape so a regression in
+either speed or fidelity is caught.
+"""
+
+import pytest
+
+from repro.experiments import run_table1, run_table2, run_table3
+
+pytestmark = pytest.mark.benchmark(group="tables")
+
+
+class TestTable1:
+    def test_bench_table1(self, run_once):
+        """Table 1: synthesize the ten production logs and re-extract all
+        published characteristics."""
+        result = run_once(run_table1, n_jobs=10000, seed=0)
+        # Every comparable cell within 30% of the published value.
+        assert result.worst_cells(tolerance=0.3) == []
+
+
+class TestTable2:
+    def test_bench_table2(self, run_once):
+        """Table 2: the eight six-month sub-logs of LANL and SDSC."""
+        result = run_once(run_table2, n_jobs=8000, seed=0)
+        assert result.worst_cells(tolerance=0.3) == []
+        # The L3 regime change (Rm jumps to 643s) is present in the
+        # synthesized sub-logs too.
+        assert result.measured["L3"].runtime_median > 4 * result.measured["L1"].runtime_median
+
+
+class TestTable3:
+    def test_bench_table3(self, run_once):
+        """Table 3: 3 Hurst estimators x 4 series x 15 workloads."""
+        result = run_once(run_table3, n_jobs=10000, seed=0)
+        # The paper's discriminating finding.
+        assert result.production_mean > result.model_mean + 0.03
+        assert result.production_mean > 0.58
+        assert result.model_mean < 0.62
+        # Cell-level agreement with the published estimates.
+        assert result.mean_absolute_deviation() < 0.15

@@ -1,0 +1,71 @@
+"""repro — reproduction of *Comparing Logs and Models of Parallel Workloads
+Using the Co-plot Method* (Talby, Feitelson & Raveh, IPPS 1999).
+
+Subpackages
+-----------
+``repro.coplot``
+    The Co-plot method: normalization, city-block dissimilarities,
+    from-scratch nonmetric MDS (Guttman SSA / SMACOF), coefficient of
+    alienation, variable arrows, variable selection, map rendering.
+``repro.workload``
+    Workload data model: SWF reader/writer, column-store container,
+    filters, and the paper's 18 workload variables.
+``repro.models``
+    The five synthetic workload models (Feitelson '96/'97, Downey, Jann,
+    Lublin), reimplemented from their published descriptions.
+``repro.selfsim``
+    Self-similarity toolkit: R/S, variance-time and periodogram Hurst
+    estimators, local Whittle, exact fractional Gaussian noise.
+``repro.archive``
+    The simulated parallel-workloads archive: the paper's Tables 1-3
+    embedded verbatim plus a calibrated log synthesizer.
+``repro.stats``
+    Distributions and statistics substrate.
+``repro.experiments``
+    One module per table/figure; ``python -m repro.experiments`` runs all.
+
+Quickstart
+----------
+>>> from repro import Coplot
+>>> from repro.experiments.common import production_matrix, FIGURE1_SIGNS
+>>> y, labels = production_matrix(FIGURE1_SIGNS)
+>>> result = Coplot().fit(y, labels=labels, signs=list(FIGURE1_SIGNS))
+>>> result.alienation  # doctest: +SKIP
+0.068
+"""
+
+from repro.coplot import Coplot, CoplotResult, smallest_space_analysis
+from repro.workload import Workload, MachineInfo, read_swf, write_swf, compute_statistics
+from repro.models import (
+    Feitelson96Model,
+    Feitelson97Model,
+    DowneyModel,
+    JannModel,
+    LublinModel,
+)
+from repro.selfsim import estimate_hurst, hurst_summary, fgn
+from repro.archive import synthesize_workload, synthesize_all
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Coplot",
+    "CoplotResult",
+    "smallest_space_analysis",
+    "Workload",
+    "MachineInfo",
+    "read_swf",
+    "write_swf",
+    "compute_statistics",
+    "Feitelson96Model",
+    "Feitelson97Model",
+    "DowneyModel",
+    "JannModel",
+    "LublinModel",
+    "estimate_hurst",
+    "hurst_summary",
+    "fgn",
+    "synthesize_workload",
+    "synthesize_all",
+    "__version__",
+]

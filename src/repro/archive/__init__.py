@@ -1,0 +1,65 @@
+"""Simulated parallel-workloads archive.
+
+The real archive (http://www.cs.huji.ac.il/labs/parallel/workload, as the
+paper announces) is unreachable offline, but the paper publishes the
+complete derived data: Table 1 (ten production workloads, 18 variables),
+Table 2 (eight six-month sub-logs) and Table 3 (12 Hurst estimates for all
+15 workloads).  This package embeds those tables verbatim
+(:mod:`repro.archive.targets`), carries the per-machine metadata
+(:mod:`repro.archive.machines`), and regenerates full SWF job streams
+consistent with the targets via a fractional-Gaussian-noise copula
+synthesizer (:mod:`repro.archive.synthesize`) — the substitution documented
+in DESIGN.md §4.1.
+"""
+
+from repro.archive.machines import MACHINES, Machine, machine_for
+from repro.archive.targets import (
+    PRODUCTION_NAMES,
+    MODEL_TABLE3_NAMES,
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    table1_row,
+    table2_row,
+    table3_row,
+    table3_matrix,
+    TABLE3_ESTIMATORS,
+    hurst_target,
+)
+from repro.archive.calibrate import (
+    solve_lognormal_marginal,
+    solve_size_distribution,
+    scale_tail_to_mean,
+)
+from repro.archive.synthesize import (
+    SynthesisSpec,
+    synthesize_workload,
+    synthesize_all,
+    spec_for,
+    export_archive,
+)
+
+__all__ = [
+    "MACHINES",
+    "Machine",
+    "machine_for",
+    "PRODUCTION_NAMES",
+    "MODEL_TABLE3_NAMES",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "table1_row",
+    "table2_row",
+    "table3_row",
+    "table3_matrix",
+    "TABLE3_ESTIMATORS",
+    "hurst_target",
+    "solve_lognormal_marginal",
+    "solve_size_distribution",
+    "scale_tail_to_mean",
+    "SynthesisSpec",
+    "synthesize_workload",
+    "synthesize_all",
+    "spec_for",
+    "export_archive",
+]

@@ -1,0 +1,68 @@
+"""Machine metadata for the six production sites of Section 3.
+
+Processor counts and the two ordinal flexibility ranks come straight from
+Table 1; the allocation granularity (power-of-two partitions, minimum
+partition size) comes from the paper's discussion — e.g. "the [LANL] system
+had static partitions, all powers of two, of which the smallest one has 32
+processors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workload.workload import MachineInfo
+
+__all__ = ["Machine", "MACHINES", "machine_for"]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One production machine: identity plus allocation granularity."""
+
+    name: str
+    system: str
+    processors: int
+    scheduler_flexibility: int  #: NQS=1, EASY/backfilling=2, gang=3
+    allocation_flexibility: int  #: power-of-2=1, limited=2, unlimited=3
+    power_of_two_sizes: bool  #: True when partitions are powers of two only
+    min_size: int  #: smallest allocatable partition
+
+    def info(self) -> MachineInfo:
+        """As workload-level :class:`MachineInfo` metadata."""
+        return MachineInfo(
+            name=self.name,
+            processors=self.processors,
+            scheduler_flexibility=self.scheduler_flexibility,
+            allocation_flexibility=self.allocation_flexibility,
+            description=self.system,
+        )
+
+
+MACHINES: Dict[str, Machine] = {
+    m.name: m
+    for m in (
+        Machine("CTC", "Cornell Theory Center IBM SP2", 512, 2, 3, False, 1),
+        Machine("KTH", "Swedish Institute of Technology IBM SP2", 100, 2, 3, False, 1),
+        Machine("LANL", "Los Alamos National Lab CM-5", 1024, 3, 1, True, 32),
+        Machine("LLNL", "Lawrence Livermore National Lab Cray T3D", 256, 3, 2, False, 1),
+        Machine("NASA", "NASA Ames iPSC/860", 128, 1, 1, True, 1),
+        Machine("SDSC", "San Diego Supercomputing Center Paragon", 416, 1, 2, False, 1),
+    )
+}
+
+
+def machine_for(workload_name: str) -> Machine:
+    """Machine of a production workload name, accepting the interactive /
+    batch / sub-period suffixes (LANLi, SDSCb, L3, S2, ...)."""
+    if workload_name in MACHINES:
+        return MACHINES[workload_name]
+    for base, machine in MACHINES.items():
+        if workload_name.startswith(base):
+            return machine
+    if workload_name and workload_name[0] == "L" and workload_name[1:].isdigit():
+        return MACHINES["LANL"]
+    if workload_name and workload_name[0] == "S" and workload_name[1:].isdigit():
+        return MACHINES["SDSC"]
+    raise KeyError(f"no machine known for workload {workload_name!r}")

@@ -1,0 +1,414 @@
+"""Synthesis of full production-log job streams from the published targets.
+
+The real archive logs are unreachable offline; this module regenerates, for
+each of the paper's observations, an SWF job stream that agrees with the
+published data on everything the paper's analyses consume:
+
+* **order statistics** — per-attribute marginals are solved from the
+  published medians and 90% intervals (:mod:`repro.archive.calibrate`),
+  and applied through a *rank remap* so each synthesized path matches them
+  exactly (under long-range dependence a path's sample quantiles would
+  otherwise drift arbitrarily far from the ensemble values);
+* **loads** — the inter-arrival, runtime and CPU-work tails are rescaled
+  (beyond the 95th percentile only, so order statistics stay pinned) until
+  the runtime load and CPU load hit the published values;
+* **long-range dependence** — each attribute series is ordered by exact
+  fractional Gaussian noise at the workload's published Hurst level (mean
+  of its three Table 3 estimates, gain-compensated for the attenuation of
+  the heavy-tailed marginal transform), so the synthesized logs are
+  self-similar exactly where the paper found the real ones to be;
+* **population structure** — user/executable counts follow the published
+  per-job ratios and completion status the published completion rate.
+
+Total CPU work is generated as its own marginal (solved from the published
+Cm/Ci) rather than as runtime x processors: the published LANL numbers
+(Cm = 256 with Rm = 68 and 32-processor minimum partitions) are provably
+inconsistent with any runtime x processors coupling, confirming the
+paper's definition measures the *actual CPU time* consumed.  The paper's
+N/A cells stay unknown (SWF ``-1``) in the synthesized logs, so the
+missing-value rules of Section 3 are exercised by the same workloads that
+triggered them originally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.archive.calibrate import (
+    scale_tail_to_mean,
+    solve_lognormal_marginal,
+    solve_size_distribution,
+)
+from repro.archive.machines import Machine, machine_for
+from repro.archive.targets import (
+    PRODUCTION_NAMES,
+    TABLE2_NAMES,
+    hurst_target,
+    table1_row,
+    table2_row,
+)
+from repro.selfsim.fgn import fgn
+from repro.stats.distributions import Discrete, Distribution
+from repro.util.rng import SeedLike, as_generator, spawn_children
+from repro.workload.fields import (
+    MISSING,
+    STATUS_CANCELLED,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+)
+from repro.workload.workload import Workload
+
+__all__ = [
+    "SynthesisSpec",
+    "spec_for",
+    "synthesize_workload",
+    "synthesize_all",
+    "export_archive",
+]
+
+#: Default number of jobs per synthesized log (real logs have tens of
+#: thousands; 20k keeps every analysis faithful at laptop cost).
+DEFAULT_N_JOBS = 20000
+
+#: Administrative cap applied to runtimes and CPU work, as a multiple of
+#: (median + 90% interval).  Production systems enforce runtime limits (the
+#: paper's Section 3 discusses jobs "exceeding the system's limits"); an
+#: unbounded log-normal tail would instead produce single jobs longer than
+#: the whole log.  Values are *winsorized* (clipped, not redistributed), so
+#: every quantile below the cap — in particular the published median and
+#: 90% interval — is untouched.
+CAP_FACTOR = 3.0
+
+#: The heavy-tailed rank transform attenuates the long-range dependence of
+#: the driving Gaussian series; boosting the input Hurst level by this gain
+#: around 0.5 compensates (validated against Table 3 in the tests).
+HURST_GAIN = 1.4
+
+#: Gaussian coupling between job size and runtime orderings: bigger jobs
+#: run longer *within* a workload (the paper cites [6, 10] for the positive
+#: correlation).  CPU work is generated from its own marginal, so this
+#: coupling shapes the node-seconds accumulation, not the published Cm.
+SIZE_RUNTIME_RHO = 0.3
+
+#: Gaussian coupling between the runtime ordering and the CPU-work
+#: ordering: jobs that run long also consume more CPU, without tying the
+#: CPU-work marginal to the runtime marginal.
+CPU_RUNTIME_RHO = 0.45
+
+#: Tail quantile used by the load calibrations: chosen above 0.95 so the
+#: published 90% interval (5th..95th percentiles) is not touched even
+#: through quantile interpolation.
+LOAD_TAIL_Q = 0.96
+
+
+@dataclass(frozen=True)
+class SynthesisSpec:
+    """Everything needed to synthesize one workload."""
+
+    name: str
+    machine: Machine
+    n_jobs: int
+    runtime: Distribution  #: base (uncapped) runtime marginal
+    runtime_cap: float
+    interarrival: Distribution
+    sizes: Discrete
+    cpu_work: Distribution  #: base total-CPU-work marginal
+    cpu_work_cap: float
+    hurst: Dict[str, float]  #: attribute -> target H
+    coupling: float  #: Gaussian-copula rho between job size and runtime
+    runtime_load: Optional[float]
+    cpu_load: Optional[float]
+    users_per_job: Optional[float]
+    execs_per_job: Optional[float]
+    pct_completed: Optional[float]
+
+
+def _opt(row: Dict[str, Optional[float]], sign: str) -> Optional[float]:
+    value = row.get(sign)
+    return None if value is None else float(value)
+
+
+def spec_for(name: str, *, n_jobs: int = DEFAULT_N_JOBS) -> SynthesisSpec:
+    """Build the synthesis spec of a Table 1 workload or Table 2 sub-log."""
+    if name in PRODUCTION_NAMES:
+        row = table1_row(name)
+        hurst_name = name
+    elif name in TABLE2_NAMES:
+        row = table2_row(name)
+        # Sub-logs inherit the parent machine's Table 3 Hurst levels.
+        hurst_name = "LANL" if name.startswith("L") else "SDSC"
+    else:
+        raise KeyError(
+            f"unknown workload {name!r}; known: "
+            f"{', '.join(PRODUCTION_NAMES + TABLE2_NAMES)}"
+        )
+    if n_jobs < 100:
+        raise ValueError(f"n_jobs must be >= 100 for stable statistics, got {n_jobs}")
+    machine = machine_for(name)
+
+    runtime = solve_lognormal_marginal(row["Rm"], row["Ri"])
+    runtime_cap = CAP_FACTOR * (row["Rm"] + row["Ri"])
+    interarrival = solve_lognormal_marginal(row["Im"], row["Ii"])
+    sizes = solve_size_distribution(machine, row["Pm"], row["Pi"])
+    cpu_work = solve_lognormal_marginal(row["Cm"], row["Ci"])
+    cpu_work_cap = CAP_FACTOR * (row["Cm"] + row["Ci"])
+
+    hurst = {
+        attr: hurst_target(hurst_name, attr)
+        for attr in ("used_procs", "run_time", "cpu_time", "interarrival")
+    }
+    return SynthesisSpec(
+        name=name,
+        machine=machine,
+        n_jobs=int(n_jobs),
+        runtime=runtime,
+        runtime_cap=runtime_cap,
+        interarrival=interarrival,
+        sizes=sizes,
+        cpu_work=cpu_work,
+        cpu_work_cap=cpu_work_cap,
+        hurst=hurst,
+        coupling=SIZE_RUNTIME_RHO,
+        # Rule 1 of the paper's Section 3, applied in reverse: when the
+        # runtime load was never published (NASA) but the CPU load was, the
+        # paper treated them as interchangeable — so calibrate the stream's
+        # runtime load to the CPU load and the two stay consistent.
+        runtime_load=(
+            _opt(row, "RL") if row.get("RL") is not None else _opt(row, "CL")
+        ),
+        cpu_load=_opt(row, "CL"),
+        users_per_job=_opt(row, "U"),
+        execs_per_job=_opt(row, "E"),
+        pct_completed=_opt(row, "C"),
+    )
+
+
+def _boosted(h: float) -> float:
+    """Compensate the rank transform's Hurst attenuation (see HURST_GAIN)."""
+    return float(np.clip(0.5 + HURST_GAIN * (h - 0.5), 0.05, 0.95))
+
+
+def _lrd_normals(n: int, h: float, rng: np.random.Generator) -> np.ndarray:
+    """Standard-normal series with long-range dependence targeting an
+    *output* Hurst level of *h* after the marginal transform."""
+    return fgn(n, _boosted(h), seed=rng)
+
+
+def _rank_uniforms(z: np.ndarray) -> np.ndarray:
+    """Mid-rank uniforms of a series: value i maps to (rank_i + 0.5)/n.
+
+    Pushing these through a marginal PPF makes the *empirical* marginal of
+    the path exact — crucial under long-range dependence, where a single
+    path's sample median can drift arbitrarily far from the ensemble median
+    (the effective sample size of an LRD series is only n^(2-2H)).  The
+    published tables report path statistics of single logs, so the
+    synthesized paths must match them pathwise, not in expectation."""
+    n = z.shape[0]
+    ranks = np.empty(n)
+    ranks[np.argsort(z, kind="mergesort")] = np.arange(n, dtype=float)
+    return (ranks + 0.5) / n
+
+
+def _assign_population(
+    n_jobs: int, per_job: Optional[float], rng: np.random.Generator
+) -> np.ndarray:
+    """Assign jobs to a population (users or executables) of the size implied
+    by the published per-job ratio, with Zipf-weighted activity so a few
+    members dominate — the universally observed archive structure."""
+    if per_job is None:
+        return np.full(n_jobs, MISSING, dtype=np.int64)
+    count = max(int(round(per_job * n_jobs)), 1)
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = 1.0 / ranks
+    weights /= weights.sum()
+    return rng.choice(count, size=n_jobs, p=weights).astype(np.int64)
+
+
+def synthesize_workload(
+    name_or_spec,
+    *,
+    n_jobs: int = DEFAULT_N_JOBS,
+    seed: SeedLike = 0,
+) -> Workload:
+    """Synthesize one production workload (or sub-log) as a full job stream.
+
+    Parameters
+    ----------
+    name_or_spec:
+        A workload name (``"CTC"``, ..., ``"SDSCb"``, ``"L1"``...``"S4"``)
+        or a prebuilt :class:`SynthesisSpec`.
+    n_jobs:
+        Stream length (ignored when a spec is passed).
+    seed:
+        Master seed; all internal streams are derived children, so one seed
+        reproduces the whole log.
+    """
+    if isinstance(name_or_spec, SynthesisSpec):
+        spec = name_or_spec
+    else:
+        spec = spec_for(str(name_or_spec), n_jobs=n_jobs)
+    n = spec.n_jobs
+    (
+        rng_ia,
+        rng_run,
+        rng_size,
+        rng_cpu,
+        rng_users,
+        rng_execs,
+        rng_status,
+    ) = spawn_children(seed, 7)
+
+    # Long-range-dependent orderings per attribute; marginals enter through
+    # the exact rank remap, so each path reproduces the published order
+    # statistics while the ordering carries the target Hurst level.
+    z_ia = _lrd_normals(n, spec.hurst["interarrival"], rng_ia)
+    z_size = _lrd_normals(n, spec.hurst["used_procs"], rng_size)
+    z_run_indep = _lrd_normals(n, spec.hurst["run_time"], rng_run)
+    rho = spec.coupling
+    z_run = rho * z_size + math.sqrt(max(1.0 - rho * rho, 0.0)) * z_run_indep
+    z_cpu_indep = _lrd_normals(n, spec.hurst["cpu_time"], rng_cpu)
+    z_cpu = (
+        CPU_RUNTIME_RHO * z_run
+        + math.sqrt(max(1.0 - CPU_RUNTIME_RHO**2, 0.0)) * z_cpu_indep
+    )
+
+    interarrival = np.asarray(spec.interarrival.ppf(_rank_uniforms(z_ia)), dtype=float)
+    run_time = np.minimum(
+        np.asarray(spec.runtime.ppf(_rank_uniforms(z_run)), dtype=float),
+        spec.runtime_cap,
+    )
+    procs = np.asarray(spec.sizes.ppf(_rank_uniforms(z_size)), dtype=float)
+    cpu_work = np.minimum(
+        np.asarray(spec.cpu_work.ppf(_rank_uniforms(z_cpu)), dtype=float),
+        spec.cpu_work_cap,
+    )
+
+    # Load calibration.  Runtime load = sum(run x procs) / (P x duration),
+    # with duration ~ sum(gaps): first stretch/shrink the inter-arrival
+    # tail; if shrinking bottoms out (tail floor), raise the runtime tail to
+    # supply the missing node-seconds.  All adjustments touch only values
+    # beyond the LOAD_TAIL_Q quantile, leaving the published order
+    # statistics intact.
+    if spec.runtime_load is not None and spec.runtime_load > 0:
+        node_seconds = float(np.sum(run_time * procs))
+        target_duration = node_seconds / (spec.machine.processors * spec.runtime_load)
+        interarrival, exact = scale_tail_to_mean(
+            interarrival, target_duration / n, tail_q=LOAD_TAIL_Q
+        )
+        if not exact:
+            duration = float(np.sum(interarrival))
+            target_ns = spec.runtime_load * spec.machine.processors * duration
+            boundary = float(np.quantile(run_time, LOAD_TAIL_Q))
+            tail = run_time > boundary
+            tail_ns = float(np.sum(run_time[tail] * procs[tail]))
+            if tail_ns > 0:
+                body_ns = node_seconds - tail_ns
+                factor = max((target_ns - body_ns) / tail_ns, 1.0)
+                run_time = run_time.copy()
+                run_time[tail] *= factor
+
+    duration = float(np.sum(interarrival))
+    # CPU load = sum(cpu work) / (P x duration): calibrate the CPU-work tail.
+    if spec.cpu_load is not None and spec.cpu_load > 0 and duration > 0:
+        target_mean_work = spec.cpu_load * spec.machine.processors * duration / n
+        cpu_work, _ = scale_tail_to_mean(cpu_work, target_mean_work, tail_q=LOAD_TAIL_Q)
+
+    submit = np.cumsum(interarrival) - interarrival[0]
+
+    if spec.cpu_load is None:
+        # The paper's N/A: CPU time was not recorded at this site.
+        avg_cpu = np.full(n, float(MISSING))
+    else:
+        # SWF stores average CPU time *per processor*.  No cap against the
+        # wall-clock runtime is applied: the published tables themselves
+        # violate it (CTC's CPU-work median implies more CPU seconds per
+        # processor than its runtime median), confirming the paper's remark
+        # that the CPU-time definition "is vague in some of the" logs.
+        avg_cpu = cpu_work / np.maximum(procs, 1.0)
+
+    if spec.pct_completed is None:
+        status = np.full(n, MISSING, dtype=np.int64)
+    else:
+        ok = rng_status.random(n) < spec.pct_completed
+        status = np.where(ok, STATUS_COMPLETED, STATUS_FAILED).astype(np.int64)
+        # A fraction of the unsuccessful jobs were cancelled, not crashed.
+        cancelled = ~ok & (rng_status.random(n) < 0.5)
+        status[cancelled] = STATUS_CANCELLED
+
+    users = _assign_population(n, spec.users_per_job, rng_users)
+    execs = _assign_population(n, spec.execs_per_job, rng_execs)
+
+    return Workload.from_arrays(
+        machine=spec.machine.info(),
+        name=spec.name,
+        submit_time=submit,
+        wait_time=np.zeros(n),
+        run_time=run_time,
+        used_procs=procs.astype(np.int64),
+        avg_cpu_time=avg_cpu,
+        status=status,
+        user_id=users,
+        executable_id=execs,
+    )
+
+
+def synthesize_all(
+    *,
+    n_jobs: int = DEFAULT_N_JOBS,
+    seed: SeedLike = 0,
+    include_sublogs: bool = False,
+) -> Dict[str, Workload]:
+    """Synthesize the whole archive: all ten production workloads (and the
+    eight sub-logs when *include_sublogs* is set), each from an independent
+    child seed of *seed*."""
+    names = list(PRODUCTION_NAMES) + (list(TABLE2_NAMES) if include_sublogs else [])
+    rngs = spawn_children(seed, len(names))
+    return {
+        name: synthesize_workload(name, n_jobs=n_jobs, seed=rng)
+        for name, rng in zip(names, rngs)
+    }
+
+
+def export_archive(
+    directory,
+    *,
+    n_jobs: int = DEFAULT_N_JOBS,
+    seed: SeedLike = 0,
+    include_sublogs: bool = False,
+    compress: bool = True,
+) -> "Dict[str, str]":
+    """Write the whole synthesized archive to *directory* as SWF files.
+
+    The paper encourages "a growing library of quickly accessible and
+    reliable data" in the standard format; this materializes ours.  Each
+    workload becomes ``<name>.swf.gz`` (or ``.swf`` with
+    ``compress=False``) plus an ``INDEX.txt`` listing name, machine, job
+    count and the synthesis seed.  Returns ``{workload name: file path}``.
+    """
+    import os
+
+    from repro.workload.swf import write_swf
+
+    os.makedirs(directory, exist_ok=True)
+    logs = synthesize_all(n_jobs=n_jobs, seed=seed, include_sublogs=include_sublogs)
+    paths: Dict[str, str] = {}
+    suffix = ".swf.gz" if compress else ".swf"
+    for name, workload in logs.items():
+        path = os.path.join(str(directory), f"{name}{suffix}")
+        write_swf(
+            workload,
+            path,
+            headers={"Generator": "repro synthesized archive", "Seed": str(seed)},
+        )
+        paths[name] = path
+    index_lines = [
+        f"{name}\t{logs[name].machine.name}\t{len(logs[name])} jobs\tseed={seed}"
+        for name in logs
+    ]
+    with open(os.path.join(str(directory), "INDEX.txt"), "w", encoding="utf-8") as fh:
+        fh.write("\n".join(index_lines) + "\n")
+    return paths

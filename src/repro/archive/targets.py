@@ -1,0 +1,266 @@
+"""The paper's published tables, embedded verbatim.
+
+These are the ground truth every experiment consumes:
+
+* :data:`TABLE1` — Table 1, "Data of production workloads": 10 observations
+  x 18 variables; ``None`` is the paper's N/A.
+* :data:`TABLE2` — Table 2, "Data of production workloads divided to six
+  months": the four LANL (L1-L4) and four SDSC (S1-S4) half-year sub-logs.
+* :data:`TABLE3` — Table 3, "Estimations of Self-Similarity": three Hurst
+  estimators x four attribute series for all ten production workloads and
+  the five synthetic models.
+
+Values are keyed by the same short signs the paper prints (Table 1's
+sign column; Table 3's estimator codes rp/vp/pp/rr/..., method letter
+first — r=R/S, v=variance-time, p=periodogram — then attribute —
+p=processors, r=runtime, c=total CPU time, i=inter-arrival).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PRODUCTION_NAMES",
+    "MODEL_TABLE3_NAMES",
+    "TABLE3_NAMES",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE3_ESTIMATORS",
+    "table1_row",
+    "table2_row",
+    "table3_row",
+    "table3_matrix",
+    "hurst_target",
+]
+
+#: The ten production observations, in Table 1 column order.
+PRODUCTION_NAMES: Tuple[str, ...] = (
+    "CTC",
+    "KTH",
+    "LANL",
+    "LANLi",
+    "LANLb",
+    "LLNL",
+    "NASA",
+    "SDSC",
+    "SDSCi",
+    "SDSCb",
+)
+
+#: The five synthetic models, in Table 3 row order.
+MODEL_TABLE3_NAMES: Tuple[str, ...] = (
+    "Lublin",
+    "Feitelson97",
+    "Feitelson96",
+    "Downey",
+    "Jann",
+)
+
+#: All 15 observations of Table 3, in its row order.
+TABLE3_NAMES: Tuple[str, ...] = PRODUCTION_NAMES + MODEL_TABLE3_NAMES
+
+_T1_SIGNS = (
+    "MP",
+    "SF",
+    "AL",
+    "RL",
+    "CL",
+    "E",
+    "U",
+    "C",
+    "Rm",
+    "Ri",
+    "Pm",
+    "Pi",
+    "Nm",
+    "Ni",
+    "Cm",
+    "Ci",
+    "Im",
+    "Ii",
+)
+
+_NA = None
+
+_T1_ROWS = {
+    # sign:      CTC      KTH     LANL   LANLi   LANLb    LLNL    NASA    SDSC   SDSCi   SDSCb
+    "MP": (512, 100, 1024, 1024, 1024, 256, 128, 416, 416, 416),
+    "SF": (2, 2, 3, 3, 3, 3, 1, 1, 1, 1),
+    "AL": (3, 3, 1, 1, 1, 2, 1, 2, 2, 2),
+    "RL": (0.56, 0.69, 0.66, 0.02, 0.65, 0.62, _NA, 0.70, 0.01, 0.69),
+    "CL": (0.47, 0.69, 0.42, 0.00, 0.42, _NA, 0.47, 0.68, 0.01, 0.67),
+    "E": (_NA, _NA, 0.0008, 0.0019, 0.0012, 0.0329, 0.0352, _NA, _NA, _NA),
+    "U": (0.0086, 0.0075, 0.0019, 0.0049, 0.0032, 0.0072, 0.0016, 0.0012, 0.0021, 0.0029),
+    "C": (0.79, 0.72, 0.91, 0.99, 0.85, _NA, _NA, 0.99, 1.00, 0.97),
+    "Rm": (960, 848, 68, 57, 376.0, 36, 19, 45, 12, 1812),
+    "Ri": (57216, 47875, 9064, 267, 11136, 9143, 1168, 28498, 484, 39290),
+    "Pm": (2, 3, 64, 32, 64.0, 8, 1, 5, 4, 8),
+    "Pi": (37, 31, 224, 96, 480.0, 62, 31, 63, 31, 63),
+    "Nm": (0.76, 3.84, 8.00, 4.00, 8.00, 4.00, 1.00, 1.54, 1.23, 2.46),
+    "Ni": (14.10, 39.68, 28.00, 12.00, 60.00, 31.00, 31.00, 19.38, 9.54, 19.38),
+    "Cm": (2181, 2880, 256, 128, 2944, 384, 19, 209, 86, 9472),
+    "Ci": (326057, 355140, 559104, 2560, 1582080, 455582, 19774, 918544, 3960, 1754212),
+    "Im": (64, 192, 162, 16, 169, 119, 56, 170, 68, 208),
+    "Ii": (1472, 3806, 1968, 276, 2064, 1660, 443, 4265, 2076, 5884),
+}
+
+#: Table 1 as {workload name: {sign: value-or-None}}.
+TABLE1: Dict[str, Dict[str, Optional[float]]] = {
+    name: {sign: _T1_ROWS[sign][i] for sign in _T1_SIGNS}
+    for i, name in enumerate(PRODUCTION_NAMES)
+}
+
+#: The eight six-month sub-logs of Table 2, in its column order.
+TABLE2_NAMES: Tuple[str, ...] = ("L1", "L2", "L3", "L4", "S1", "S2", "S3", "S4")
+
+#: Calendar period of each sub-log (the paper's column headers).
+TABLE2_PERIODS: Dict[str, str] = {
+    "L1": "10/94-3/95",
+    "L2": "4/95-9/95",
+    "L3": "10/95-3/96",
+    "L4": "4/96-9/96",
+    "S1": "1/95-6/95",
+    "S2": "7/95-12/95",
+    "S3": "1/96-6/96",
+    "S4": "7/96-12/96",
+}
+
+_T2_ROWS = {
+    # sign:     L1      L2      L3      L4      S1      S2      S3      S4
+    "RL": (0.76, 0.83, 0.24, 0.73, 0.66, 0.67, 0.76, 0.65),
+    "CL": (0.43, 0.52, 0.16, 0.48, 0.65, 0.66, 0.72, 0.63),
+    "E": (0.0016, 0.0014, 0.0034, 0.0016, _NA, _NA, _NA, _NA),
+    "U": (0.0038, 0.0038, 0.0076, 0.0042, 0.0021, 0.0019, 0.0023, 0.0023),
+    "C": (0.93, 0.93, 0.82, 0.90, 0.99, 0.99, 0.98, 0.97),
+    "Rm": (62, 65, 643, 79, 31, 21, 73, 527),
+    "Ri": (7003, 7383, 11039, 11085, 29067, 20270, 30955, 25656),
+    "Pm": (64, 32, 64, 128, 4, 4, 4, 8),
+    "Pi": (224, 224, 480, 480, 63, 63, 63, 63),
+    "Nm": (8, 4, 8, 16, 1.23, 1.23, 1.23, 2.46),
+    "Ni": (28, 28, 60, 60, 19.38, 19.38, 19.38, 19.38),
+    "Cm": (128, 256, 7648, 384, 169, 119, 295, 1645),
+    "Ci": (300320, 394112, 1976832, 1417216, 504254, 612183, 1235174, 1141531),
+    "Im": (159, 167, 239, 89, 180, 39, 92, 206),
+    "Ii": (1948, 1765, 2448, 1834, 2422, 5836, 4516, 5040),
+}
+
+#: Table 2 as {sub-log name: {sign: value-or-None}}; MP/SF/AL inherited
+#: from the parent machine are added for convenience.
+TABLE2: Dict[str, Dict[str, Optional[float]]] = {}
+for _i, _name in enumerate(TABLE2_NAMES):
+    _row: Dict[str, Optional[float]] = {
+        sign: values[_i] for sign, values in _T2_ROWS.items()
+    }
+    if _name.startswith("L"):
+        _row.update({"MP": 1024, "SF": 3, "AL": 1})
+    else:
+        _row.update({"MP": 416, "SF": 1, "AL": 2})
+    TABLE2[_name] = _row
+
+#: Table 3 estimator codes, in its column order: method letter (r=R/S,
+#: v=variance-time, p=periodogram) then attribute letter (p=processors,
+#: r=runtime, c=total CPU time, i=inter-arrival).
+TABLE3_ESTIMATORS: Tuple[str, ...] = (
+    "rp",
+    "vp",
+    "pp",
+    "rr",
+    "vr",
+    "pr",
+    "rc",
+    "vc",
+    "pc",
+    "ri",
+    "vi",
+    "pi",
+)
+
+#: Estimator code -> (method, series attribute) in library vocabulary.
+ESTIMATOR_KEYS: Dict[str, Tuple[str, str]] = {
+    "rp": ("rs", "used_procs"),
+    "vp": ("variance", "used_procs"),
+    "pp": ("periodogram", "used_procs"),
+    "rr": ("rs", "run_time"),
+    "vr": ("variance", "run_time"),
+    "pr": ("periodogram", "run_time"),
+    "rc": ("rs", "cpu_time"),
+    "vc": ("variance", "cpu_time"),
+    "pc": ("periodogram", "cpu_time"),
+    "ri": ("rs", "interarrival"),
+    "vi": ("variance", "interarrival"),
+    "pi": ("periodogram", "interarrival"),
+}
+
+_T3_ROWS = {
+    #            rp    vp    pp    rr    vr    pr    rc    vc    pc    ri    vi    pi
+    "CTC": (0.71, 0.71, 0.68, 0.55, 0.75, 0.76, 0.29, 0.65, 0.56, 0.42, 0.63, 0.68),
+    "KTH": (0.74, 0.87, 0.67, 0.68, 0.58, 0.79, 0.61, 0.67, 0.56, 0.48, 0.69, 0.71),
+    "LANL": (0.60, 0.90, 0.82, 0.74, 0.90, 0.77, 0.65, 0.88, 0.76, 0.67, 0.91, 0.68),
+    "LANLi": (0.96, 0.81, 0.91, 0.80, 0.80, 0.84, 0.71, 0.79, 0.70, 0.86, 0.59, 0.84),
+    "LANLb": (0.52, 0.78, 0.78, 0.66, 0.81, 0.71, 0.68, 0.80, 0.71, 0.71, 0.79, 0.66),
+    "LLNL": (0.84, 0.74, 0.84, 0.88, 0.74, 0.69, 0.77, 0.69, 0.72, 0.56, 0.43, 0.71),
+    "NASA": (0.61, 0.68, 0.84, 0.53, 0.66, 0.56, 0.43, 0.60, 0.55, 0.60, 0.35, 0.51),
+    "SDSC": (0.50, 0.77, 0.68, 0.54, 0.85, 0.70, 0.53, 0.83, 0.60, 0.66, 0.96, 0.67),
+    "SDSCi": (0.61, 0.59, 0.94, 0.83, 0.61, 0.58, 0.62, 0.59, 0.56, 0.80, 0.74, 0.64),
+    "SDSCb": (0.68, 0.83, 0.72, 0.84, 0.76, 0.68, 0.83, 0.79, 0.58, 0.82, 0.84, 0.56),
+    "Lublin": (0.47, 0.47, 0.48, 0.55, 0.80, 0.67, 0.55, 0.80, 0.67, 0.45, 0.49, 0.47),
+    "Feitelson97": (0.64, 0.62, 0.80, 0.72, 0.62, 0.72, 0.67, 0.58, 0.70, 0.49, 0.49, 0.54),
+    "Feitelson96": (0.72, 0.57, 0.65, 0.26, 0.61, 0.69, 0.26, 0.60, 0.68, 0.55, 0.48, 0.50),
+    "Downey": (0.46, 0.49, 0.50, 0.54, 0.48, 0.49, 0.60, 0.47, 0.49, 0.55, 0.46, 0.49),
+    "Jann": (0.69, 0.57, 0.59, 0.49, 0.49, 0.49, 0.64, 0.51, 0.51, 0.61, 0.50, 0.54),
+}
+
+#: Table 3 as {workload name: {estimator code: H}}.
+TABLE3: Dict[str, Dict[str, float]] = {
+    name: dict(zip(TABLE3_ESTIMATORS, values)) for name, values in _T3_ROWS.items()
+}
+
+
+def table1_row(name: str) -> Dict[str, Optional[float]]:
+    """One Table 1 observation by name (copy)."""
+    try:
+        return dict(TABLE1[name])
+    except KeyError:
+        raise KeyError(
+            f"unknown production workload {name!r}; known: {', '.join(PRODUCTION_NAMES)}"
+        ) from None
+
+
+def table2_row(name: str) -> Dict[str, Optional[float]]:
+    """One Table 2 sub-log by name (copy)."""
+    try:
+        return dict(TABLE2[name])
+    except KeyError:
+        raise KeyError(
+            f"unknown sub-log {name!r}; known: {', '.join(TABLE2_NAMES)}"
+        ) from None
+
+
+def table3_row(name: str) -> Dict[str, float]:
+    """One Table 3 row by workload name (copy)."""
+    try:
+        return dict(TABLE3[name])
+    except KeyError:
+        raise KeyError(
+            f"unknown Table 3 workload {name!r}; known: {', '.join(TABLE3_NAMES)}"
+        ) from None
+
+
+def table3_matrix() -> Tuple[np.ndarray, List[str], List[str]]:
+    """Table 3 as ``(matrix, row_labels, column_signs)``."""
+    matrix = np.array([[TABLE3[n][e] for e in TABLE3_ESTIMATORS] for n in TABLE3_NAMES])
+    return matrix, list(TABLE3_NAMES), list(TABLE3_ESTIMATORS)
+
+
+def hurst_target(name: str, attribute: str) -> float:
+    """The synthesizer's per-attribute Hurst target: the mean of the three
+    published estimates for that workload and attribute series."""
+    row = table3_row(name)
+    codes = [c for c, (_, attr) in ESTIMATOR_KEYS.items() if attr == attribute]
+    if not codes:
+        raise KeyError(f"unknown series attribute {attribute!r}")
+    return float(np.mean([row[c] for c in codes]))

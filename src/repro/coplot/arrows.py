@@ -1,0 +1,150 @@
+"""Stage 4 of Co-plot: variable arrows.
+
+Each variable *j* is drawn as an arrow from the centre of gravity of the
+observation points, directed so that the correlation between the variable's
+values and the projections of the points onto the arrow is maximal.  The
+magnitude of that maximal correlation is the per-variable goodness of fit
+the paper uses to decide which variables belong in the display.
+
+The direction has a closed form: maximizing
+``corr(v, X u)`` over unit vectors *u* is the multiple-regression problem of
+*v* on the (centred) coordinates — the optimum is ``u ∝ (XᵀX)⁻¹ Xᵀ v`` and
+the achieved correlation is the multiple correlation coefficient R.  Arrows
+of highly correlated variables therefore point the same way, and the cosine
+of the angle between two arrows approximates the correlation between their
+variables (Section 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.stats.correlation import pearson
+from repro.util.validation import check_1d, check_2d
+
+__all__ = [
+    "Arrow",
+    "fit_arrow",
+    "fit_arrows",
+    "angle_between",
+    "arrow_correlation_matrix",
+]
+
+
+@dataclass(frozen=True)
+class Arrow:
+    """One variable's ray in the Co-plot map.
+
+    Attributes
+    ----------
+    sign:
+        Variable label (paper sign, e.g. ``"Rm"``).
+    direction:
+        Unit 2-vector (or unit dim-vector) of the gradient direction.
+    correlation:
+        The maximal correlation achieved — the variable's goodness of fit.
+    """
+
+    sign: str
+    direction: np.ndarray
+    correlation: float
+
+    @property
+    def angle_degrees(self) -> float:
+        """Direction as a compass-free angle in degrees, in [0, 360)."""
+        ang = math.degrees(math.atan2(self.direction[1], self.direction[0]))
+        return ang % 360.0
+
+
+def fit_arrow(coords, values, sign: str = "") -> Arrow:
+    """Fit the arrow of one variable.
+
+    Parameters
+    ----------
+    coords:
+        n x dim observation coordinates from the MDS stage.
+    values:
+        The variable's (normalized or raw — correlation is scale-free)
+        values per observation; NaN entries are ignored.
+    sign:
+        Label to attach.
+
+    Returns
+    -------
+    Arrow
+        With zero direction and zero correlation when the variable is
+        constant or has fewer than 3 present observations.
+    """
+    x = check_2d(coords, "coords")
+    v = check_1d(values, "values")
+    if v.shape[0] != x.shape[0]:
+        raise ValueError(
+            f"values length {v.shape[0]} does not match {x.shape[0]} observations"
+        )
+    mask = ~np.isnan(v)
+    dim = x.shape[1]
+    if mask.sum() < 3:
+        return Arrow(sign=sign, direction=np.zeros(dim), correlation=0.0)
+    xm = x[mask]
+    vm = v[mask]
+    xc = xm - xm.mean(axis=0)
+    vc = vm - vm.mean()
+    if np.allclose(vc, 0) or np.allclose(xc, 0):
+        return Arrow(sign=sign, direction=np.zeros(dim), correlation=0.0)
+    gram = xc.T @ xc
+    xtv = xc.T @ vc
+    # Least-squares direction; pinv handles degenerate (collinear) maps.
+    beta = np.linalg.pinv(gram) @ xtv
+    norm = float(np.linalg.norm(beta))
+    if norm == 0:
+        return Arrow(sign=sign, direction=np.zeros(dim), correlation=0.0)
+    direction = beta / norm
+    corr = pearson(vm, xm @ direction)
+    if corr < 0:  # pragma: no cover - the LS direction is never anti-correlated
+        direction = -direction
+        corr = -corr
+    return Arrow(sign=sign, direction=direction, correlation=float(corr))
+
+
+def fit_arrows(
+    coords,
+    z,
+    signs: Optional[Sequence[str]] = None,
+) -> List[Arrow]:
+    """Fit one arrow per column of the (normalized) data matrix *z*."""
+    zmat = check_2d(z, "z")
+    if signs is None:
+        signs = [f"v{j}" for j in range(zmat.shape[1])]
+    if len(signs) != zmat.shape[1]:
+        raise ValueError(f"{len(signs)} signs for {zmat.shape[1]} variables")
+    return [fit_arrow(coords, zmat[:, j], sign) for j, sign in enumerate(signs)]
+
+
+def angle_between(a: Arrow, b: Arrow) -> float:
+    """Angle between two arrows in degrees, in [0, 180]."""
+    na = np.linalg.norm(a.direction)
+    nb = np.linalg.norm(b.direction)
+    if na == 0 or nb == 0:
+        return math.nan
+    cosine = float(np.clip(np.dot(a.direction, b.direction) / (na * nb), -1.0, 1.0))
+    return math.degrees(math.acos(cosine))
+
+
+def arrow_correlation_matrix(arrows: Sequence[Arrow]) -> np.ndarray:
+    """Cosines of the angles between all arrow pairs.
+
+    The paper: "the cosines of angles between these arrows are approximately
+    proportional to the correlations between their associated variables."
+    """
+    p = len(arrows)
+    out = np.eye(p)
+    for i in range(p):
+        for j in range(i + 1, p):
+            ang = angle_between(arrows[i], arrows[j])
+            val = math.nan if math.isnan(ang) else math.cos(math.radians(ang))
+            out[i, j] = out[j, i] = val
+    return out

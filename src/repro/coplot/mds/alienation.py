@@ -1,0 +1,105 @@
+"""Goodness-of-fit measures: Guttman's μ and Θ, and Kruskal stress-1.
+
+Equations (3) and (4) of the paper: over all pairs of dissimilarities
+(S_ik, S_lm) and corresponding map distances (d_ik, d_lm),
+
+    μ = Σ (S_ik - S_lm)(d_ik - d_lm)  /  Σ |S_ik - S_lm| |d_ik - d_lm|
+
+and the coefficient of alienation Θ = sqrt(1 - μ²).  μ = 1 means perfect
+weak monotonicity (every ordered pair of dissimilarities maps to map
+distances in the same order); the paper calls Θ below 0.15 good.
+
+With m = n(n-1)/2 dissimilarities there are O(m²) pairs; the computation is
+a pair of outer differences, vectorized with NumPy broadcasting (for the
+paper's n ≤ 18 this is trivial; it stays workable up to a few hundred
+observations).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.coplot.mds.base import check_dissimilarity, pairwise_euclidean, upper_triangle
+
+__all__ = ["monotonicity_coefficient", "coefficient_of_alienation", "kruskal_stress"]
+
+
+def _as_flat_pair(s, d) -> tuple:
+    s = np.asarray(s, dtype=float)
+    d = np.asarray(d, dtype=float)
+    if s.ndim == 2:
+        s = upper_triangle(check_dissimilarity(s))
+    if d.ndim == 2:
+        if d.shape[0] == d.shape[1] and np.allclose(np.diag(d), 0, atol=1e-12):
+            d = upper_triangle(d)
+        else:
+            # A configuration matrix: compute its distances.
+            d = upper_triangle(pairwise_euclidean(d))
+    if s.shape != d.shape:
+        raise ValueError(
+            f"dissimilarities and distances must align, got {s.shape} vs {d.shape}"
+        )
+    if s.size < 2:
+        raise ValueError("need at least two dissimilarities")
+    return s, d
+
+
+#: Above this many dissimilarities the O(m²) outer differences are
+#: accumulated in row blocks instead of materialized whole (the full
+#: broadcast would need two m x m float temporaries).
+_CHUNK_THRESHOLD = 2048
+
+#: Rows per block in the chunked path: O(block x m) memory.
+_CHUNK_ROWS = 256
+
+
+def monotonicity_coefficient(s, d) -> float:
+    """Guttman's μ (Eq. 3) between dissimilarities *s* and distances *d*.
+
+    Both arguments may be flat vectors of the n(n-1)/2 pair values, full
+    symmetric matrices, or (for *d*) an n x dim configuration.  For the
+    paper's n ≤ 18 the full outer-difference broadcast is used; beyond a
+    few thousand pairs the same sums are accumulated block by block so
+    memory stays linear in the pair count.
+    """
+    sv, dv = _as_flat_pair(s, d)
+    m = sv.size
+    if m <= _CHUNK_THRESHOLD:
+        ds = sv[:, None] - sv[None, :]
+        dd = dv[:, None] - dv[None, :]
+        num = float(np.sum(ds * dd))
+        den = float(np.sum(np.abs(ds) * np.abs(dd)))
+    else:
+        num = 0.0
+        den = 0.0
+        for start in range(0, m, _CHUNK_ROWS):
+            stop = min(start + _CHUNK_ROWS, m)
+            ds = sv[start:stop, None] - sv[None, :]
+            dd = dv[start:stop, None] - dv[None, :]
+            num += float(np.sum(ds * dd))
+            den += float(np.sum(np.abs(ds) * np.abs(dd)))
+    if den == 0:
+        # All dissimilarities or all distances tied: nothing to order.
+        return 1.0
+    return num / den
+
+
+def coefficient_of_alienation(s, d) -> float:
+    """Guttman's coefficient of alienation Θ = sqrt(1 - μ²) (Eq. 4)."""
+    mu = monotonicity_coefficient(s, d)
+    return math.sqrt(max(0.0, 1.0 - mu * mu))
+
+
+def kruskal_stress(disparities, d) -> float:
+    """Kruskal stress-1: sqrt( Σ(dhat - d)² / Σ d² ).
+
+    Used internally as the majorization objective; the paper reports Θ, but
+    stress is the quantity SMACOF iterations monotonically decrease.
+    """
+    dhat, dv = _as_flat_pair(disparities, d)
+    denom = float(np.sum(dv**2))
+    if denom == 0:
+        return 0.0 if np.allclose(dhat, 0) else math.inf
+    return math.sqrt(float(np.sum((dhat - dv) ** 2)) / denom)

@@ -1,0 +1,51 @@
+"""Classical (Torgerson) metric MDS.
+
+Used as the deterministic starting configuration for the iterative
+algorithms: double-centre the squared dissimilarities, eigendecompose, and
+take the leading coordinates.  Exact when the dissimilarities are Euclidean
+distances of some configuration; a good warm start otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coplot.mds.base import check_dissimilarity
+
+__all__ = ["classical_mds"]
+
+
+def classical_mds(s, dim: int = 2) -> np.ndarray:
+    """Torgerson's classical scaling of a dissimilarity matrix.
+
+    Parameters
+    ----------
+    s:
+        Symmetric dissimilarity matrix (n x n).
+    dim:
+        Output dimensionality.
+
+    Returns
+    -------
+    numpy.ndarray
+        n x dim coordinates, centred at the origin, axes ordered by
+        decreasing eigenvalue.  Axes with non-positive eigenvalues (the
+        non-Euclidean part of the data) come out as zero columns.
+    """
+    mat = check_dissimilarity(s)
+    n = mat.shape[0]
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    if dim > n:
+        raise ValueError(f"dim={dim} exceeds the number of observations {n}")
+
+    sq = mat**2
+    centering = np.eye(n) - np.ones((n, n)) / n
+    b = -0.5 * centering @ sq @ centering
+    # b is symmetric by construction; eigh returns ascending eigenvalues.
+    eigvals, eigvecs = np.linalg.eigh((b + b.T) / 2.0)
+    idx = np.argsort(eigvals)[::-1][:dim]
+    vals = eigvals[idx]
+    vecs = eigvecs[:, idx]
+    coords = vecs * np.sqrt(np.maximum(vals, 0.0))
+    return coords - coords.mean(axis=0)

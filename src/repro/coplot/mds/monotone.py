@@ -1,0 +1,94 @@
+"""Order-restoring transforms for nonmetric MDS.
+
+Each SMACOF iteration replaces the raw dissimilarities by *disparities*:
+values as close as possible to the current map distances while respecting
+the dissimilarity order.  Two classic choices:
+
+* :func:`isotonic_regression` — Kruskal's approach: the weighted
+  least-squares monotone fit, computed by pool-adjacent-violators (PAVA).
+* :func:`rank_image` — Guttman's approach (the one inside SSA): permute the
+  *distances themselves* so their order matches the dissimilarity order;
+  the disparities are then a rank-image of the distances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.validation import check_1d
+
+__all__ = ["isotonic_regression", "rank_image"]
+
+
+def isotonic_regression(y, weights=None) -> np.ndarray:
+    """Weighted isotonic (non-decreasing) least-squares fit via PAVA.
+
+    Parameters
+    ----------
+    y:
+        Values in the order the fit must be monotone in (callers sort by
+        dissimilarity first).
+    weights:
+        Optional positive weights.
+
+    Returns
+    -------
+    numpy.ndarray
+        The non-decreasing vector minimizing ``Σ w (fit - y)²``.
+    """
+    arr = check_1d(y, "y", min_len=1)
+    if weights is None:
+        w = np.ones_like(arr)
+    else:
+        w = check_1d(weights, "weights")
+        if w.shape != arr.shape:
+            raise ValueError("weights must match y in length")
+        if np.any(w <= 0):
+            raise ValueError("weights must be positive")
+
+    n = len(arr)
+    # Blocks are maintained as (value, weight, count) and merged backwards
+    # whenever a new block violates monotonicity.
+    values = np.empty(n)
+    wsums = np.empty(n)
+    counts = np.empty(n, dtype=np.int64)
+    top = 0
+    for i in range(n):
+        values[top] = arr[i]
+        wsums[top] = w[i]
+        counts[top] = 1
+        top += 1
+        while top > 1 and values[top - 2] > values[top - 1]:
+            total_w = wsums[top - 2] + wsums[top - 1]
+            values[top - 2] = (
+                values[top - 2] * wsums[top - 2] + values[top - 1] * wsums[top - 1]
+            ) / total_w
+            wsums[top - 2] = total_w
+            counts[top - 2] += counts[top - 1]
+            top -= 1
+    return np.repeat(values[:top], counts[:top])
+
+
+def rank_image(distances, order: Optional[np.ndarray] = None) -> np.ndarray:
+    """Guttman's rank-image transform.
+
+    Returns the vector holding the same multiset of values as *distances*
+    but arranged so that its order agrees with *order* (the permutation that
+    sorts the dissimilarities ascending).  With ``order=None`` the distances
+    are assumed to be already listed in dissimilarity order, and the result
+    is simply ``sort(distances)`` mapped back to the original positions.
+    """
+    d = check_1d(distances, "distances", min_len=1)
+    n = len(d)
+    if order is None:
+        order = np.arange(n)
+    else:
+        order = np.asarray(order)
+        if sorted(order.tolist()) != list(range(n)):
+            raise ValueError("order must be a permutation of 0..n-1")
+    out = np.empty(n)
+    # Positions listed in dissimilarity order receive the sorted distances.
+    out[order] = np.sort(d)
+    return out

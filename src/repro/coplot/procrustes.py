@@ -1,0 +1,65 @@
+"""Procrustes alignment of Co-plot maps.
+
+MDS output is only defined up to rotation, reflection, uniform scaling and
+translation.  To compare two maps of the same observations — e.g. checking
+the stability of variable clusters across runs, or that Figure 2's map is a
+"zoom in" of Figure 4's — the second map is first aligned onto the first by
+orthogonal Procrustes analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.validation import check_2d
+
+__all__ = ["procrustes_align", "procrustes_disparity"]
+
+
+def procrustes_align(reference, target, *, allow_scaling: bool = True) -> np.ndarray:
+    """Rotate/reflect (and optionally scale) *target* onto *reference*.
+
+    Both are n x dim configurations over the same n observations in the
+    same row order.  Returns the transformed copy of *target* minimizing
+    the Frobenius distance to *reference*.
+    """
+    a = check_2d(reference, "reference")
+    b = check_2d(target, "target")
+    if a.shape != b.shape:
+        raise ValueError(f"configurations must share a shape, got {a.shape} vs {b.shape}")
+    if a.shape[0] < 2:
+        raise ValueError("need at least 2 points to align")
+
+    a_c = a - a.mean(axis=0)
+    b_c = b - b.mean(axis=0)
+    norm_b = np.linalg.norm(b_c)
+    if norm_b == 0:
+        return np.tile(a.mean(axis=0), (a.shape[0], 1))
+
+    u, svals, vt = np.linalg.svd(a_c.T @ b_c)
+    rotation = u @ vt
+    if allow_scaling:
+        scale = svals.sum() / (norm_b**2)
+    else:
+        scale = 1.0
+    return scale * b_c @ rotation.T + a.mean(axis=0)
+
+
+def procrustes_disparity(reference, target, *, allow_scaling: bool = True) -> float:
+    """Normalized residual after alignment, in [0, 1].
+
+    0 means the configurations are identical up to the allowed transforms;
+    1 means no shared structure.  Defined as ``||A' - B'||² / ||A'||²``
+    with A' the centred reference and B' the aligned target.
+    """
+    a = check_2d(reference, "reference")
+    aligned = procrustes_align(a, target, allow_scaling=allow_scaling)
+    a_c = a - a.mean(axis=0)
+    norm = float(np.sum(a_c**2))
+    if norm == 0:
+        return 0.0
+    resid = float(np.sum((a_c - (aligned - a.mean(axis=0))) ** 2))
+    return min(max(resid / norm, 0.0), 1.0)

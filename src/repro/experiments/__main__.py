@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro.experiments`` delegates to the runner."""
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

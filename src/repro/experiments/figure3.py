@@ -1,0 +1,140 @@
+"""Figure 3 — production workloads over time.
+
+The paper maps the ten Table 1 observations together with the eight
+six-month sub-logs (L1-L4, S1-S4) and reads off:
+
+* the SDSC sub-logs cluster (the site was stationary), with S4 slightly
+  apart, and the full SDSC workload "some kind of average of its four
+  parts";
+* the LANL sub-logs split: the first year (L1, L2) sits near the full LANL
+  workload, while L3 and L4 — the CM-5's end-of-life period — are definite
+  outliers (confirmed by LANL staff: fewer users, very long jobs in 1996).
+
+This is the paper's homogeneity test: "Co-plot could be used in this
+manner to test any new log."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.coplot.model import CoplotResult
+from repro.coplot.render import render_ascii_map
+from repro.experiments.common import (
+    FIGURE3_SIGNS,
+    Claim,
+    combined_matrix,
+    default_coplot,
+    render_claims,
+)
+
+__all__ = ["Figure3Result", "run_figure3"]
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """Figure 3 reproduction output."""
+
+    coplot: CoplotResult
+    sdsc_diameter: float
+    lanl_year1_spread: float
+    lanl_year2_spread: float
+    mean_pairwise_distance: float
+    claims: List[Claim]
+
+    def render(self) -> str:
+        parts = [
+            "=== Figure 3: production workloads change over time ===",
+            render_ascii_map(self.coplot),
+            f"SDSC sub-log diameter: {self.sdsc_diameter:.3f}",
+            f"LANL year-1 (L1,L2) distance from LANL: {self.lanl_year1_spread:.3f}",
+            f"LANL year-2 (L3,L4) distance from LANL: {self.lanl_year2_spread:.3f}",
+            f"Mean pairwise distance: {self.mean_pairwise_distance:.3f}",
+            render_claims(self.claims),
+        ]
+        return "\n".join(parts)
+
+
+def run_figure3(*, seed: int = 0) -> Figure3Result:
+    """Reproduce Figure 3 from the embedded Tables 1 and 2."""
+    table1_names = (
+        "CTC",
+        "KTH",
+        "LANL",
+        "LANLi",
+        "LANLb",
+        "LLNL",
+        "NASA",
+        "SDSC",
+        "SDSCi",
+        "SDSCb",
+    )
+    table2_names = ("L1", "L2", "L3", "L4", "S1", "S2", "S3", "S4")
+    y, labels = combined_matrix(FIGURE3_SIGNS, table1_names, table2_names)
+    cp = default_coplot(seed=seed)
+    result = cp.fit(y, labels=labels, signs=list(FIGURE3_SIGNS))
+
+    pos = {name: result.position(name) for name in labels}
+
+    def dist(a: str, b: str) -> float:
+        return float(np.linalg.norm(pos[a] - pos[b]))
+
+    sdsc_parts = ("S1", "S2", "S3", "S4")
+    sdsc_diam = max(
+        dist(a, b) for i, a in enumerate(sdsc_parts) for b in sdsc_parts[i + 1 :]
+    )
+    year1 = float(np.mean([dist("L1", "LANL"), dist("L2", "LANL")]))
+    year2 = float(np.mean([dist("L3", "LANL"), dist("L4", "LANL")]))
+    all_d = [
+        dist(a, b) for i, a in enumerate(labels) for b in labels[i + 1 :]
+    ]
+    mean_d = float(np.mean(all_d))
+
+    # The full SDSC should sit inside (or very near) its parts' hull: its
+    # distance to the parts' centroid is small vs the parts' own spread.
+    sdsc_centroid = np.mean([pos[p] for p in sdsc_parts], axis=0)
+    sdsc_avg_gap = float(np.linalg.norm(pos["SDSC"] - sdsc_centroid))
+
+    claims = [
+        Claim(
+            "map quality within the good range",
+            "(not stated; Figure 3 shown as valid)",
+            f"alienation={result.alienation:.3f}",
+            result.alienation <= 0.15,
+        ),
+        Claim(
+            "SDSC sub-logs are clustered",
+            "rather clustered, apart possibly from S4",
+            f"diameter={sdsc_diam:.2f} vs mean distance {mean_d:.2f}",
+            sdsc_diam < mean_d,
+        ),
+        Claim(
+            "full SDSC is an average of its four parts",
+            "close to its parts",
+            f"gap to parts' centroid={sdsc_avg_gap:.2f}",
+            sdsc_avg_gap < mean_d,
+        ),
+        Claim(
+            "LANL year 1 close to the full LANL workload",
+            "L1, L2 close to LANL",
+            f"mean distance={year1:.2f}",
+            year1 < mean_d,
+        ),
+        Claim(
+            "LANL year 2 wildly different (L3, L4 outliers)",
+            "definite outliers",
+            f"mean distance={year2:.2f} vs year 1 {year1:.2f}",
+            year2 > 1.5 * year1,
+        ),
+    ]
+    return Figure3Result(
+        coplot=result,
+        sdsc_diameter=sdsc_diam,
+        lanl_year1_spread=year1,
+        lanl_year2_spread=year2,
+        mean_pairwise_distance=mean_d,
+        claims=claims,
+    )

@@ -1,0 +1,147 @@
+"""Command-line entry point: ``python -m repro.experiments [ids...]``.
+
+Runs the requested experiments (all of them by default) and prints each
+report.  ``--list`` shows the experiment ids, ``--quick`` lowers job
+counts for a fast smoke run, and ``--out DIR`` additionally writes each
+report (plus CSV/SVG exports of every Co-plot map) into a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+#: Per-experiment quick-mode overrides (smaller inputs, same claims).
+_QUICK_KWARGS = {
+    "table1": {"n_jobs": 4000},
+    "table2": {"n_jobs": 4000},
+    "figure4": {"n_jobs": 4000},
+    "load": {"n_jobs": 4000},
+    "table3": {"n_jobs": 6000},
+    "figure5": {"n_jobs": 6000},
+    "paramodel": {"n_jobs": 4000},
+    "scheduling": {"n_jobs": 2000},
+    "stability": {"n_boot": 15},
+}
+
+#: Experiments that accept a master seed.
+_SEEDED = set(_QUICK_KWARGS)
+
+
+def _write_outputs(out_dir: str, exp_id: str, result) -> None:
+    from repro.coplot.render import coplot_to_csv, coplot_to_svg
+
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, f"{exp_id}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(result.render() + "\n")
+    coplot = getattr(result, "coplot", None)
+    if coplot is not None:
+        with open(os.path.join(out_dir, f"{exp_id}.csv"), "w", encoding="utf-8") as fh:
+            fh.write(coplot_to_csv(coplot))
+        with open(os.path.join(out_dir, f"{exp_id}.svg"), "w", encoding="utf-8") as fh:
+            fh.write(coplot_to_svg(coplot))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of Talby, Feitelson & Raveh (1999).",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids to run (default: all); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller job counts for a fast smoke run"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
+    parser.add_argument(
+        "--out", metavar="DIR", default=None, help="also write reports/CSV/SVG into DIR"
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="write a markdown claim scorecard across all runs to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; known: {', '.join(EXPERIMENTS)}"
+        )
+
+    failures = 0
+    scorecard = []
+    for exp_id in ids:
+        run = EXPERIMENTS[exp_id]
+        kwargs = {}
+        if exp_id in _SEEDED:
+            kwargs["seed"] = args.seed
+            if args.quick:
+                kwargs.update(_QUICK_KWARGS[exp_id])
+        start = time.perf_counter()
+        result = run(**kwargs)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
+        claims = getattr(result, "claims", None)
+        if callable(claims):
+            claims = claims()
+        if claims:
+            failures += sum(0 if c.holds else 1 for c in claims)
+            scorecard.append((exp_id, elapsed, claims))
+        if args.out:
+            _write_outputs(args.out, exp_id, result)
+    if args.report:
+        _write_scorecard(args.report, scorecard, seed=args.seed, quick=args.quick)
+        print(f"Scorecard written to {args.report}")
+    if failures:
+        print(f"{failures} claim(s) did not hold; see [MISS] lines above.")
+    return 0
+
+
+def _write_scorecard(path: str, scorecard, *, seed: int, quick: bool) -> None:
+    """Write the markdown claim table across every experiment run."""
+    lines = [
+        "# Reproduction scorecard",
+        "",
+        f"Seed {seed}, {'quick' if quick else 'full'} mode.",
+        "",
+        "| Experiment | Claim | Paper | Measured | Holds |",
+        "|---|---|---|---|---|",
+    ]
+    total = held = 0
+    for exp_id, elapsed, claims in scorecard:
+        for claim in claims:
+            total += 1
+            held += claim.holds
+            lines.append(
+                f"| {exp_id} | {claim.description} | {claim.paper} | "
+                f"{claim.measured} | {'yes' if claim.holds else 'NO'} |"
+            )
+    lines.append("")
+    lines.append(f"**{held}/{total} claims hold.**")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Downey's parallel workload model (HPDC 1997).
+
+Downey observed on the SDSC Paragon log that the cumulative distributions
+of total service time (node-seconds summed over the job's processors) and
+of average parallelism are approximately *linear in log space*, and modeled
+both with (two-stage) log-uniform distributions.  The model proper leaves
+the processor count to the scheduler; the paper evaluates it as a "pure
+model", using the average parallelism as the allocation and deriving the
+runtime as service time divided by parallelism — we do the same.
+
+Defaults follow the shape of Downey's published fits: service times
+log-uniform over a wide range with a knee separating the small-job mass
+from the long tail, a sizable sequential-job fraction, and Poisson
+arrivals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import WorkloadModel
+from repro.stats.distributions import LogUniform, TwoStageLogUniform
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["DowneyModel"]
+
+
+class DowneyModel(WorkloadModel):
+    """Log-uniform service-time / parallelism model.
+
+    Parameters
+    ----------
+    machine_procs:
+        Machine size N; parallel jobs draw average parallelism log-uniform
+        on [2, N].
+    service_lo, service_knee, service_hi:
+        Support and knee of the two-stage log-uniform total-service-time
+        distribution (node-seconds).
+    p_small:
+        Probability mass below the knee.
+    p_sequential:
+        Fraction of jobs with average parallelism 1.
+    mean_interarrival:
+        Mean of the exponential inter-arrival times (seconds).
+    """
+
+    name = "Downey"
+
+    def __init__(
+        self,
+        machine_procs: int = 128,
+        *,
+        service_lo: float = 1.0,
+        service_knee: float = 500.0,
+        service_hi: float = 3.0e5,
+        p_small: float = 0.45,
+        p_sequential: float = 0.35,
+        mean_interarrival: float = 120.0,
+    ):
+        super().__init__(machine_procs)
+        if not (0 < service_lo < service_knee < service_hi):
+            raise ValueError(
+                "need 0 < service_lo < service_knee < service_hi, got "
+                f"{service_lo}, {service_knee}, {service_hi}"
+            )
+        self.service = TwoStageLogUniform(
+            service_lo, service_knee, service_hi, check_probability(p_small, "p_small")
+        )
+        self.p_sequential = check_probability(p_sequential, "p_sequential")
+        self.mean_interarrival = check_positive(mean_interarrival, "mean_interarrival")
+        if machine_procs >= 2:
+            self.parallelism = LogUniform(2.0, float(machine_procs))
+        else:
+            self.parallelism = None
+
+    def _generate_arrays(self, n_jobs: int, rng: np.random.Generator) -> dict:
+        service = self.service.sample(n_jobs, rng)
+
+        procs = np.ones(n_jobs)
+        if self.parallelism is not None:
+            parallel = rng.random(n_jobs) >= self.p_sequential
+            n_par = int(parallel.sum())
+            # Average parallelism used directly as the allocation (pure model).
+            procs[parallel] = np.round(self.parallelism.sample(n_par, rng))
+        procs = np.clip(procs, 1, self.machine_procs)
+
+        run_time = service / procs
+        interarrival = rng.exponential(self.mean_interarrival, size=n_jobs)
+        submit = np.cumsum(interarrival) - interarrival[0]
+        return {
+            "submit_time": submit,
+            "run_time": run_time,
+            "used_procs": procs.astype(np.int64),
+            "wait_time": np.zeros(n_jobs),
+        }

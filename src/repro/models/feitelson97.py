@@ -1,0 +1,85 @@
+"""Feitelson's 1997 model (Feitelson & Jette, JSSPP 1997).
+
+The paper treats it as "a modification from '97" of the 1996 model.  The
+published differences we reproduce:
+
+* a stronger emphasis on power-of-two job sizes;
+* a three-stage hyper-exponential runtime distribution (short / medium /
+  long), still correlated with job size;
+* heavier job repetition — the paper's Figure 5 discussion singles this
+  model out as having "the highest self-similarity, possibly due to the
+  inclusion of repeated job executions", so the repetition distribution has
+  a fatter tail than in 1996.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.feitelson96 import Feitelson96Model
+from repro.util.validation import check_positive
+
+__all__ = ["Feitelson97Model"]
+
+
+class Feitelson97Model(Feitelson96Model):
+    """The 1997 modification.
+
+    Additional parameters beyond :class:`Feitelson96Model`:
+
+    runtime_medium_mean:
+        Mean of the inserted medium runtime branch.
+    p_medium:
+        Probability of the medium branch (size-independent); the remaining
+        mass splits between short and long exactly as in the 1996 model.
+    """
+
+    name = "Feitelson97"
+
+    def __init__(
+        self,
+        machine_procs: int = 128,
+        *,
+        size_alpha: float = 0.9,
+        pow2_factor: float = 6.0,
+        runtime_short_mean: float = 25.0,
+        runtime_medium_mean: float = 400.0,
+        runtime_long_mean: float = 4000.0,
+        p_medium: float = 0.3,
+        p_long_base: float = 0.1,
+        p_long_slope: float = 0.4,
+        repeat_order: float = 2.2,
+        max_repeats: int = 64,
+        mean_interarrival: float = 75.0,
+        n_users: int = 64,
+    ):
+        super().__init__(
+            machine_procs,
+            size_alpha=size_alpha,
+            pow2_factor=pow2_factor,
+            runtime_short_mean=runtime_short_mean,
+            runtime_long_mean=runtime_long_mean,
+            p_long_base=p_long_base,
+            p_long_slope=p_long_slope,
+            repeat_order=repeat_order,
+            max_repeats=max_repeats,
+            mean_interarrival=mean_interarrival,
+            n_users=n_users,
+        )
+        self.runtime_medium_mean = check_positive(runtime_medium_mean, "runtime_medium_mean")
+        if not 0.0 <= p_medium < 1.0:
+            raise ValueError(f"p_medium must be in [0, 1), got {p_medium}")
+        self.p_medium = float(p_medium)
+
+    def _draw_runtime(self, sizes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = sizes.shape[0]
+        u = rng.random(n)
+        medium = u < self.p_medium
+        # Conditional on not-medium, split short/long with the
+        # size-dependent probability of the base model.
+        p_long = self._p_long(sizes)
+        long_branch = ~medium & (rng.random(n) < p_long)
+        means = np.full(n, self.runtime_short_mean)
+        means[medium] = self.runtime_medium_mean
+        means[long_branch] = self.runtime_long_mean
+        return rng.exponential(means)

@@ -1,0 +1,190 @@
+"""User-session workload model — the paper's multi-class future work.
+
+Section 10 lists "user or multi-class modeling attributes [2]" as the
+next modeling step, and Section 9 conjectures that "most 'human generated'
+workloads, in which tens or more of people are involved in creating, will
+exhibit self-similarity to some degree."  This model realises both ideas:
+
+* the workload is generated *per user*: each of a population of users
+  alternates between idle periods and working **sessions**;
+* within a session the user submits jobs sequentially with think times
+  after each completion (genuine feedback, unlike the open arrival
+  processes of the 1990s models);
+* each user carries their own job template (characteristic size and
+  runtime scale), giving the multi-class structure and the repeated-work
+  patterns of real logs (low normalized users/executables);
+* when session durations are **heavy-tailed** (Pareto-like), the
+  superposition of users' ON/OFF processes is long-range dependent — the
+  classic Willinger/Taqqu explanation of self-similar traffic.  With
+  light-tailed sessions the same machinery produces an ordinary
+  short-range-dependent stream, so the model doubles as a demonstration
+  of *why* the paper found production logs self-similar.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.base import WorkloadModel
+from repro.stats.distributions import Discrete, LogNormal
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["UserProfile", "UserSessionModel"]
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One user's behavioural template."""
+
+    user_id: int
+    runtime_scale: float  #: multiplies the base runtime distribution
+    size: int  #: the user's characteristic job size
+    executable_id: int
+
+
+class UserSessionModel(WorkloadModel):
+    """Closed, session-structured multi-user workload generator.
+
+    Parameters
+    ----------
+    machine_procs:
+        Machine size.
+    n_users:
+        Population size ("tens or more of people").
+    mean_idle:
+        Mean idle (OFF) time between a user's sessions, seconds.
+    session_tail:
+        Pareto tail index of the session length in *jobs*.  Values in
+        (1, 2) give infinite-variance session lengths and hence an LRD
+        aggregate (the self-similar regime); values well above 2 give a
+        short-range-dependent stream.
+    mean_session_jobs:
+        Mean number of jobs per session.
+    base_runtime_median, base_runtime_interval:
+        The base runtime marginal; each user scales it by a log-normal
+        personal factor.
+    mean_think:
+        Mean think time between a job's completion and the next submit
+        within a session.
+    size_spread:
+        Spread of the per-user characteristic job sizes (log2 std).
+    """
+
+    name = "UserSession"
+
+    def __init__(
+        self,
+        machine_procs: int = 128,
+        *,
+        n_users: int = 64,
+        mean_idle: float = 6.0 * 3600.0,
+        session_tail: float = 1.5,
+        mean_session_jobs: float = 8.0,
+        base_runtime_median: float = 120.0,
+        base_runtime_interval: float = 8000.0,
+        mean_think: float = 180.0,
+        size_spread: float = 1.5,
+    ):
+        super().__init__(machine_procs)
+        if n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {n_users}")
+        self.n_users = int(n_users)
+        self.mean_idle = check_positive(mean_idle, "mean_idle")
+        if session_tail <= 1.0:
+            raise ValueError(
+                f"session_tail must exceed 1 (finite mean), got {session_tail}"
+            )
+        self.session_tail = float(session_tail)
+        self.mean_session_jobs = check_positive(mean_session_jobs, "mean_session_jobs")
+        self.base_runtime = LogNormal.from_median_interval(
+            base_runtime_median, base_runtime_interval
+        )
+        self.mean_think = check_positive(mean_think, "mean_think")
+        self.size_spread = check_positive(size_spread, "size_spread")
+
+    # -- user population ---------------------------------------------------
+    def _make_profiles(self, rng: np.random.Generator) -> List[UserProfile]:
+        profiles = []
+        max_log2 = math.log2(self.machine_procs) if self.machine_procs > 1 else 0.0
+        for uid in range(self.n_users):
+            log2_size = np.clip(
+                rng.normal(max_log2 / 3.0, self.size_spread), 0.0, max_log2
+            )
+            profiles.append(
+                UserProfile(
+                    user_id=uid,
+                    runtime_scale=float(rng.lognormal(0.0, 0.6)),
+                    size=int(round(2.0 ** float(log2_size))),
+                    executable_id=uid,  # one dominant code per user
+                )
+            )
+        return profiles
+
+    def _session_length(self, rng: np.random.Generator) -> int:
+        """Pareto-distributed number of jobs in a session (minimum 1),
+        scaled so the mean matches ``mean_session_jobs``."""
+        alpha = self.session_tail
+        # Pareto(xm=1): mean = alpha/(alpha-1); rescale to the target mean.
+        xm = self.mean_session_jobs * (alpha - 1.0) / alpha
+        draw = xm * (1.0 - rng.random()) ** (-1.0 / alpha)
+        return max(1, int(round(draw)))
+
+    # -- generation --------------------------------------------------------
+    def _generate_arrays(self, n_jobs: int, rng: np.random.Generator) -> dict:
+        profiles = self._make_profiles(rng)
+        submit = np.empty(n_jobs)
+        run_time = np.empty(n_jobs)
+        procs = np.empty(n_jobs, dtype=np.int64)
+        users = np.empty(n_jobs, dtype=np.int64)
+        execs = np.empty(n_jobs, dtype=np.int64)
+        think = np.empty(n_jobs)
+
+        # Per-user event heap: (next submit time, user index, jobs left in
+        # the current session).  Sessions run jobs sequentially: each job's
+        # completion plus a think time triggers the next submit.
+        heap = []
+        for idx in range(self.n_users):
+            first = rng.exponential(self.mean_idle)
+            heapq.heappush(heap, (first, idx, self._session_length(rng)))
+
+        filled = 0
+        while filled < n_jobs:
+            when, idx, jobs_left = heapq.heappop(heap)
+            profile = profiles[idx]
+            runtime = float(
+                self.base_runtime.sample(1, rng)[0] * profile.runtime_scale
+            )
+            submit[filled] = when
+            run_time[filled] = runtime
+            procs[filled] = profile.size
+            users[filled] = profile.user_id
+            execs[filled] = profile.executable_id
+            gap = rng.exponential(self.mean_think)
+            think[filled] = gap
+            filled += 1
+
+            if jobs_left > 1:
+                # Next job of the session: after this one "completes" (the
+                # pure-model stance: it runs immediately) plus think time.
+                heapq.heappush(heap, (when + runtime + gap, idx, jobs_left - 1))
+            else:
+                # Session over: the user goes idle, then starts a new one.
+                idle = rng.exponential(self.mean_idle)
+                heapq.heappush(
+                    heap, (when + runtime + idle, idx, self._session_length(rng))
+                )
+
+        return {
+            "submit_time": submit,
+            "run_time": run_time,
+            "used_procs": np.clip(procs, 1, self.machine_procs),
+            "user_id": users,
+            "executable_id": execs,
+            "think_time": think,
+            "wait_time": np.zeros(n_jobs),
+        }

@@ -1,0 +1,115 @@
+"""Processor allocators — the paper's allocation-flexibility ranks.
+
+Section 3 ranks processor allocation by increasing flexibility:
+
+1. allocation of partitions with power-of-2 nodes (NASA iPSC/860, LANL
+   CM-5, which additionally had a 32-node minimum partition);
+2. limited allocation (meshes etc. — modeled as block-granular);
+3. unlimited allocation (any arbitrary subset of the nodes).
+
+An allocator maps a job's *requested* size onto the number of processors
+it actually *consumes*; inflexible allocators consume more than requested
+(internal fragmentation), which is exactly how flexibility affects
+achievable utilization.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+__all__ = [
+    "ProcessorAllocator",
+    "UnlimitedAllocator",
+    "PowerOfTwoAllocator",
+    "LimitedAllocator",
+    "allocator_for_flexibility",
+]
+
+
+class ProcessorAllocator(abc.ABC):
+    """Maps requested job sizes to consumed processors."""
+
+    #: The paper's allocation-flexibility rank (1 = least flexible).
+    flexibility: int = 0
+
+    @abc.abstractmethod
+    def consumed(self, requested: int) -> int:
+        """Processors actually tied up by a job requesting *requested*."""
+
+    def validate(self, requested: int, machine_procs: int) -> int:
+        """Common checks, returning the consumed size."""
+        if requested < 1:
+            raise ValueError(f"job size must be >= 1, got {requested}")
+        size = self.consumed(int(requested))
+        if size > machine_procs:
+            raise ValueError(
+                f"job of size {requested} consumes {size} processors, more "
+                f"than the machine's {machine_procs}"
+            )
+        return size
+
+
+class UnlimitedAllocator(ProcessorAllocator):
+    """Rank 3: any subset of the nodes can be used (SP2 with LoadLeveler)."""
+
+    flexibility = 3
+
+    def consumed(self, requested: int) -> int:
+        return int(requested)
+
+    def __repr__(self) -> str:
+        return "UnlimitedAllocator()"
+
+
+class PowerOfTwoAllocator(ProcessorAllocator):
+    """Rank 1: static power-of-two partitions with a minimum size.
+
+    A job consumes the smallest power-of-two partition that fits it and is
+    at least *min_size* (the LANL CM-5's smallest partition was 32).
+    """
+
+    flexibility = 1
+
+    def __init__(self, min_size: int = 1):
+        if min_size < 1:
+            raise ValueError(f"min_size must be >= 1, got {min_size}")
+        self.min_size = int(min_size)
+
+    def consumed(self, requested: int) -> int:
+        size = max(int(requested), self.min_size)
+        return 1 << max(size - 1, 0).bit_length() if size > 1 else 1
+
+    def __repr__(self) -> str:
+        return f"PowerOfTwoAllocator(min_size={self.min_size})"
+
+
+class LimitedAllocator(ProcessorAllocator):
+    """Rank 2: block-granular allocation (mesh submeshes and the like).
+
+    A job consumes the smallest multiple of *block* that fits it.
+    """
+
+    flexibility = 2
+
+    def __init__(self, block: int = 4):
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self.block = int(block)
+
+    def consumed(self, requested: int) -> int:
+        return self.block * math.ceil(int(requested) / self.block)
+
+    def __repr__(self) -> str:
+        return f"LimitedAllocator(block={self.block})"
+
+
+def allocator_for_flexibility(rank: int, **kwargs) -> ProcessorAllocator:
+    """Build the allocator matching a Table 1 ``AL`` rank."""
+    if rank == 1:
+        return PowerOfTwoAllocator(**kwargs)
+    if rank == 2:
+        return LimitedAllocator(**kwargs)
+    if rank == 3:
+        return UnlimitedAllocator(**kwargs)
+    raise ValueError(f"allocation flexibility rank must be 1..3, got {rank}")

@@ -1,0 +1,228 @@
+"""Scheduling policies — the paper's scheduler-flexibility ranks.
+
+Section 3 ranks schedulers by increasing flexibility: the NQS batch
+queuing system (plain FCFS queueing), the EASY scheduler "which uses
+backfilling", and gang schedulers.  We implement FCFS and both classic
+backfilling variants (EASY/aggressive and conservative); time-slicing
+gang scheduling is out of scope for a space-shared simulator, and EASY
+marks the flexibility rank the paper's analysis actually exercises.
+
+All policies receive perfect runtime estimates (the "pure model" stance
+the paper takes for the generators); the simulator's estimate handling is
+factored so inaccurate estimates can be injected for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "QueuedJob",
+    "Scheduler",
+    "FcfsScheduler",
+    "EasyBackfillScheduler",
+    "ConservativeBackfillScheduler",
+    "scheduler_for_flexibility",
+]
+
+
+@dataclass(frozen=True)
+class QueuedJob:
+    """A job waiting in the scheduler's queue."""
+
+    index: int  #: position in the originating workload
+    submit: float
+    size: int  #: processors consumed (post-allocator)
+    runtime: float  #: actual runtime
+    estimate: float  #: runtime estimate the scheduler may rely on
+
+
+class Scheduler(abc.ABC):
+    """Decides which queued jobs start now."""
+
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        clock: float,
+        queue: Sequence[QueuedJob],
+        free: int,
+        running: Sequence[Tuple[float, int]],
+    ) -> List[QueuedJob]:
+        """Return the jobs to start at *clock*, in start order.
+
+        Parameters
+        ----------
+        clock:
+            Current simulation time.
+        queue:
+            Waiting jobs in FCFS (submit) order.
+        free:
+            Currently idle processors.
+        running:
+            ``(end_time, size)`` of currently running jobs (end times are
+            the scheduler-visible estimates).
+        """
+
+
+class FcfsScheduler(Scheduler):
+    """First-come-first-served: start the head while it fits, never jump
+    the queue (the NQS-style baseline, flexibility rank 1)."""
+
+    name = "FCFS"
+
+    def select(self, clock, queue, free, running):
+        started = []
+        for job in queue:
+            if job.size <= free:
+                started.append(job)
+                free -= job.size
+            else:
+                break
+        return started
+
+
+class EasyBackfillScheduler(Scheduler):
+    """EASY (aggressive) backfilling, flexibility rank 2.
+
+    The head of the queue gets a reservation at the *shadow time* — the
+    earliest instant enough processors will be free.  Any later job may
+    jump the queue if it fits now and either finishes by the shadow time
+    or only uses the *extra* processors the head will not need.
+    """
+
+    name = "EASY"
+
+    def select(self, clock, queue, free, running):
+        started = []
+        queue = list(queue)
+        # Start head jobs normally first.
+        while queue and queue[0].size <= free:
+            job = queue.pop(0)
+            started.append(job)
+            free -= job.size
+        if not queue or free <= 0:
+            return started
+
+        head = queue[0]
+        # Shadow time: walk future completions until the head fits.
+        shadow = None
+        extra = 0
+        avail = free
+        for end, size in sorted(running) + sorted(
+            (clock + j.estimate, j.size) for j in started
+        ):
+            avail += size
+            if avail >= head.size:
+                shadow = end
+                extra = avail - head.size
+                break
+        if shadow is None:
+            # Head can never fit (should be prevented by validation).
+            return started
+
+        backfill_extra = min(extra, free)
+        for job in queue[1:]:
+            if job.size > free:
+                continue
+            ends_by_shadow = clock + job.estimate <= shadow
+            within_extra = job.size <= backfill_extra
+            if ends_by_shadow or within_extra:
+                started.append(job)
+                free -= job.size
+                if not ends_by_shadow:
+                    backfill_extra -= job.size
+                backfill_extra = min(backfill_extra, free)
+                if free <= 0:
+                    break
+        return started
+
+
+class ConservativeBackfillScheduler(Scheduler):
+    """Conservative backfilling, flexibility rank 3.
+
+    Every queued job holds a reservation; a job may start early only if it
+    delays no reservation of a job ahead of it.  Implemented by rebuilding
+    the availability profile each round and assigning each queued job (in
+    FCFS order) its earliest feasible start; jobs whose assigned start is
+    *now* begin immediately.  Rebuilding in queue order guarantees no job
+    is ever pushed behind a later arrival.
+    """
+
+    name = "conservative"
+
+    def __init__(self, horizon: float = float("inf")):
+        self.horizon = horizon
+
+    def select(self, clock, queue, free, running):
+        # Availability profile as breakpoints: times where capacity changes.
+        # profile[t] = processors available from t (until the next key).
+        events = sorted(running)
+        times = [clock] + [end for end, _ in events]
+        avail = [free]
+        for end, size in events:
+            avail.append(avail[-1] + size)
+        # Deduplicate identical breakpoint times.
+        prof_t: List[float] = []
+        prof_a: List[int] = []
+        for t, a in zip(times, avail):
+            if prof_t and t == prof_t[-1]:
+                prof_a[-1] = a
+            else:
+                prof_t.append(t)
+                prof_a.append(a)
+
+        def earliest_start(size: int, duration: float) -> float:
+            for i, t in enumerate(prof_t):
+                if prof_a[i] < size:
+                    continue
+                # Check the capacity holds for the whole duration.
+                end = t + duration
+                feasible = True
+                for j in range(i + 1, len(prof_t)):
+                    if prof_t[j] >= end:
+                        break
+                    if prof_a[j] < size:
+                        feasible = False
+                        break
+                if feasible:
+                    return t
+            return prof_t[-1]  # after everything ends, the machine is free
+
+        def reserve(start: float, size: int, duration: float) -> None:
+            end = start + duration
+            # Insert breakpoints at start and end if absent.
+            for point in (start, end):
+                if point not in prof_t:
+                    pos = bisect.bisect_left(prof_t, point)
+                    base = prof_a[pos - 1] if pos > 0 else prof_a[0]
+                    prof_t.insert(pos, point)
+                    prof_a.insert(pos, base)
+            for i, t in enumerate(prof_t):
+                if start <= t < end:
+                    prof_a[i] -= size
+
+        started = []
+        for job in queue:
+            start = earliest_start(job.size, job.estimate)
+            reserve(start, job.size, job.estimate)
+            if start <= clock:
+                started.append(job)
+        return started
+
+
+def scheduler_for_flexibility(rank: int) -> Scheduler:
+    """Build the policy matching a Table 1 ``SF`` rank (1=FCFS, 2=EASY,
+    3=conservative backfilling as the most flexible space-shared stand-in
+    for gang scheduling)."""
+    if rank == 1:
+        return FcfsScheduler()
+    if rank == 2:
+        return EasyBackfillScheduler()
+    if rank == 3:
+        return ConservativeBackfillScheduler()
+    raise ValueError(f"scheduler flexibility rank must be 1..3, got {rank}")

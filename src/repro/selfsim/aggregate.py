@@ -1,0 +1,55 @@
+"""Series aggregation and autocorrelation.
+
+Equation (8) of the paper: the m-aggregated series averages non-overlapping
+blocks of size m.  Self-similar processes keep their correlation structure
+under this aggregation; the variance-time estimator reads H off how fast
+``Var(X^(m))`` decays in m.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_1d
+
+__all__ = ["aggregate_series", "autocorrelation"]
+
+
+def aggregate_series(x, m: int) -> np.ndarray:
+    """The m-aggregated series X^(m): means of non-overlapping blocks.
+
+    The trailing partial block (fewer than m values) is dropped, matching
+    the definition in Eq. (8).
+    """
+    arr = check_1d(x, "x", min_len=1)
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    n_blocks = arr.shape[0] // m
+    if n_blocks == 0:
+        raise ValueError(f"series of length {arr.shape[0]} has no complete block of size {m}")
+    return arr[: n_blocks * m].reshape(n_blocks, m).mean(axis=1)
+
+
+def autocorrelation(x, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation function r(k) for k = 0..max_lag (Eq. 5).
+
+    Uses the biased estimator (normalizing by n), the standard choice that
+    guarantees a positive semidefinite sequence.
+    """
+    arr = check_1d(x, "x", min_len=2)
+    n = arr.shape[0]
+    if max_lag < 0:
+        raise ValueError(f"max_lag must be >= 0, got {max_lag}")
+    if max_lag >= n:
+        raise ValueError(f"max_lag={max_lag} must be below the series length {n}")
+    centred = arr - arr.mean()
+    denom = float(centred @ centred)
+    if denom == 0:
+        out = np.zeros(max_lag + 1)
+        out[0] = 1.0
+        return out
+    # FFT-based autocovariance: O(n log n) instead of O(n * max_lag).
+    size = int(2 ** np.ceil(np.log2(2 * n)))
+    spectrum = np.fft.rfft(centred, size)
+    acov = np.fft.irfft(spectrum * np.conj(spectrum), size)[: max_lag + 1]
+    return acov / denom

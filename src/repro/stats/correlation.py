@@ -1,0 +1,80 @@
+"""Correlation helpers.
+
+Co-plot's fourth stage reads correlations off arrow angles; these helpers
+compute the underlying Pearson/Spearman coefficients and full correlation
+matrices without pulling in sklearn (not available offline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_1d, check_2d
+
+__all__ = ["pearson", "spearman", "correlation_matrix", "rankdata_average"]
+
+
+def pearson(x, y) -> float:
+    """Pearson product-moment correlation; 0.0 for degenerate input."""
+    xa = check_1d(x, "x", min_len=2)
+    ya = check_1d(y, "y", min_len=2)
+    if xa.shape != ya.shape:
+        raise ValueError(f"x and y must have equal length, got {xa.shape} vs {ya.shape}")
+    xc = xa - xa.mean()
+    yc = ya - ya.mean()
+    # Take the square roots separately: multiplying the squared sums first
+    # underflows to zero for tiny-magnitude data (|x| ~ 1e-125) even though
+    # the correlation is perfectly well defined.
+    denom = np.sqrt(xc @ xc) * np.sqrt(yc @ yc)
+    if denom == 0:
+        return 0.0
+    return float(np.clip((xc @ yc) / denom, -1.0, 1.0))
+
+
+def rankdata_average(x) -> np.ndarray:
+    """Ranks (1-based) with ties sharing their average rank."""
+    arr = check_1d(x, "x", min_len=1)
+    order = np.argsort(arr, kind="mergesort")
+    ranks = np.empty(len(arr), dtype=float)
+    ranks[order] = np.arange(1, len(arr) + 1, dtype=float)
+    # Average ranks within tied groups.
+    sorted_vals = arr[order]
+    i = 0
+    while i < len(arr):
+        j = i
+        while j + 1 < len(arr) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            avg = 0.5 * (i + j) + 1.0
+            ranks[order[i : j + 1]] = avg
+        i = j + 1
+    return ranks
+
+
+def spearman(x, y) -> float:
+    """Spearman rank correlation (Pearson on average ranks)."""
+    return pearson(rankdata_average(x), rankdata_average(y))
+
+
+def correlation_matrix(data, *, method: str = "pearson") -> np.ndarray:
+    """Column-by-column correlation matrix of a 2-D array (rows=observations).
+
+    NaN cells are handled pairwise: each entry uses only rows where both
+    columns are present, mirroring how the paper copes with the missing
+    values of Table 1.
+    """
+    mat = check_2d(data, "data")
+    if method not in ("pearson", "spearman"):
+        raise ValueError(f"method must be 'pearson' or 'spearman', got {method!r}")
+    corr_fn = pearson if method == "pearson" else spearman
+    p = mat.shape[1]
+    out = np.eye(p)
+    for i in range(p):
+        for j in range(i + 1, p):
+            mask = ~(np.isnan(mat[:, i]) | np.isnan(mat[:, j]))
+            if mask.sum() < 2:
+                val = np.nan
+            else:
+                val = corr_fn(mat[mask, i], mat[mask, j])
+            out[i, j] = out[j, i] = val
+    return out

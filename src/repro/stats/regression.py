@@ -1,0 +1,77 @@
+"""Least-squares line fitting.
+
+All three Hurst estimators in the paper's appendix reduce to fitting a
+straight line in a log-log plot (pox plot, variance-time plot, periodogram)
+and reading the Hurst parameter off the slope.  :func:`linear_fit` is that
+shared primitive, returning slope, intercept and the fit's R².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_1d
+
+__all__ = ["LinearFit", "linear_fit"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Ordinary-least-squares fit ``y ~ intercept + slope * x``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x) -> np.ndarray:
+        """Evaluate the fitted line at *x*."""
+        return self.intercept + self.slope * np.asarray(x, dtype=float)
+
+
+def linear_fit(x, y, *, weights=None) -> LinearFit:
+    """Weighted least-squares straight-line fit.
+
+    Parameters
+    ----------
+    x, y:
+        Data points (1-D, equal length, at least 2 points).
+    weights:
+        Optional non-negative per-point weights.
+
+    Returns
+    -------
+    LinearFit
+    """
+    xa = check_1d(x, "x", min_len=2)
+    ya = check_1d(y, "y", min_len=2)
+    if xa.shape != ya.shape:
+        raise ValueError(f"x and y must have equal length, got {xa.shape} vs {ya.shape}")
+    if weights is None:
+        w = np.ones_like(xa)
+    else:
+        w = check_1d(weights, "weights")
+        if w.shape != xa.shape:
+            raise ValueError("weights must match x in length")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        if w.sum() == 0:
+            raise ValueError("weights must not all be zero")
+
+    wsum = w.sum()
+    xm = (w * xa).sum() / wsum
+    ym = (w * ya).sum() / wsum
+    sxx = (w * (xa - xm) ** 2).sum()
+    if sxx == 0:
+        raise ValueError("x values are all identical; slope undefined")
+    sxy = (w * (xa - xm) * (ya - ym)).sum()
+    slope = sxy / sxx
+    intercept = ym - slope * xm
+
+    resid = ya - (intercept + slope * xa)
+    ss_res = (w * resid**2).sum()
+    ss_tot = (w * (ya - ym) ** 2).sum()
+    r2 = 1.0 if ss_tot == 0 else float(1.0 - ss_res / ss_tot)
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r2, n=len(xa))

@@ -1,0 +1,81 @@
+"""Standard Workload Format (SWF) field definitions.
+
+The SWF is the interchange format of the Parallel Workloads Archive that
+Section 3 of the paper announces: one job per line, 18 whitespace-separated
+fields, ``-1`` marking unknown values, and ``;``-prefixed header comments.
+This module is the single source of truth for field order, names and dtypes;
+both the parser/writer (:mod:`repro.workload.swf`) and the column store
+(:mod:`repro.workload.workload`) are generated from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "SwfField",
+    "SWF_FIELDS",
+    "FIELD_NAMES",
+    "MISSING",
+    "STATUS_FAILED",
+    "STATUS_COMPLETED",
+    "STATUS_PARTIAL",
+    "STATUS_CANCELLED",
+]
+
+#: Sentinel for unknown values in SWF files.
+MISSING = -1
+
+#: SWF status codes.
+STATUS_FAILED = 0
+STATUS_COMPLETED = 1
+STATUS_PARTIAL = 2  # partial execution, will be continued
+STATUS_CANCELLED = 5
+
+
+@dataclass(frozen=True)
+class SwfField:
+    """One of the 18 SWF per-job fields."""
+
+    index: int  #: 0-based position in an SWF record line
+    name: str  #: column name used throughout the library
+    dtype: str  #: "int" or "float"
+    description: str
+
+    def parse(self, token: str) -> float:
+        """Parse a raw token, honouring the -1 missing convention."""
+        value = float(token)
+        return value
+
+    def render(self, value: float) -> str:
+        """Render a value back into SWF text."""
+        if self.dtype == "int":
+            return str(int(round(value)))
+        if value == int(value):
+            return str(int(value))
+        return f"{value:.2f}"
+
+
+SWF_FIELDS: Tuple[SwfField, ...] = (
+    SwfField(0, "job_id", "int", "Job number, starting from 1"),
+    SwfField(1, "submit_time", "float", "Submit time in seconds from log start"),
+    SwfField(2, "wait_time", "float", "Seconds the job waited in the queue"),
+    SwfField(3, "run_time", "float", "Wall-clock run time in seconds"),
+    SwfField(4, "used_procs", "int", "Number of allocated processors"),
+    SwfField(5, "avg_cpu_time", "float", "Average CPU time used per processor"),
+    SwfField(6, "used_memory", "float", "Average used memory per processor (KB)"),
+    SwfField(7, "requested_procs", "int", "Requested number of processors"),
+    SwfField(8, "requested_time", "float", "Requested wall-clock time"),
+    SwfField(9, "requested_memory", "float", "Requested memory per processor (KB)"),
+    SwfField(10, "status", "int", "0 fail, 1 complete, 2 partial, 5 cancelled"),
+    SwfField(11, "user_id", "int", "User the job belongs to"),
+    SwfField(12, "group_id", "int", "Group the user belongs to"),
+    SwfField(13, "executable_id", "int", "Application / executable identifier"),
+    SwfField(14, "queue", "int", "Queue number (1-based; site-specific meaning)"),
+    SwfField(15, "partition", "int", "Partition number"),
+    SwfField(16, "preceding_job", "int", "Job this one depends on"),
+    SwfField(17, "think_time", "float", "Seconds between preceding job end and this submit"),
+)
+
+FIELD_NAMES: Tuple[str, ...] = tuple(f.name for f in SWF_FIELDS)

@@ -1,0 +1,171 @@
+"""Standard Workload Format reader and writer.
+
+Format, as defined by the Parallel Workloads Archive the paper announces:
+
+* lines starting with ``;`` are header comments of the form
+  ``; Key: value`` (e.g. ``; MaxProcs: 512``);
+* every other non-blank line is one job: 18 whitespace-separated numeric
+  fields in the order of :data:`repro.workload.fields.SWF_FIELDS`;
+* ``-1`` denotes an unknown value.
+
+The reader tolerates records with fewer than 18 fields (some early archive
+conversions truncated trailing unknowns) by padding with ``-1``, and maps
+recognised header keys onto :class:`~repro.workload.workload.MachineInfo`.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, List, Optional, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.workload.fields import FIELD_NAMES, MISSING, SWF_FIELDS
+from repro.workload.workload import MachineInfo, Workload
+
+__all__ = ["read_swf", "write_swf", "parse_swf_text", "render_swf_text"]
+
+# Header keys we map onto MachineInfo; compared case-insensitively.
+_HEADER_PROCS = ("maxprocs", "maxnodes", "processors")
+
+
+def parse_swf_text(
+    text: str,
+    *,
+    name: Optional[str] = None,
+    machine: Optional[MachineInfo] = None,
+) -> Workload:
+    """Parse SWF content from a string.
+
+    Parameters
+    ----------
+    text:
+        The file contents.
+    name:
+        Workload display name; defaults to the header's ``Computer`` field
+        or ``"swf"``.
+    machine:
+        Overrides machine metadata inferred from the header.  Without a
+        header ``MaxProcs`` line and without *machine*, the processor count
+        falls back to the maximum observed job size.
+    """
+    headers: Dict[str, str] = {}
+    rows: List[List[float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            body = line.lstrip(";").strip()
+            if ":" in body:
+                key, _, value = body.partition(":")
+                headers[key.strip().lower()] = value.strip()
+            continue
+        tokens = line.split()
+        if len(tokens) > len(SWF_FIELDS):
+            raise ValueError(
+                f"line {lineno}: {len(tokens)} fields, SWF defines {len(SWF_FIELDS)}"
+            )
+        try:
+            values = [float(t) for t in tokens]
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: non-numeric field ({exc})") from None
+        values.extend([float(MISSING)] * (len(SWF_FIELDS) - len(values)))
+        rows.append(values)
+
+    data = np.asarray(rows, dtype=float) if rows else np.empty((0, len(SWF_FIELDS)))
+    columns = {f.name: data[:, f.index] for f in SWF_FIELDS}
+
+    if machine is None:
+        procs = None
+        for key in _HEADER_PROCS:
+            if key in headers:
+                try:
+                    procs = int(float(headers[key]))
+                except ValueError:
+                    continue
+                break
+        if procs is None:
+            observed = columns["used_procs"]
+            positive = observed[observed > 0]
+            procs = int(positive.max()) if positive.size else 1
+        machine = MachineInfo(
+            name=headers.get("computer", name or "swf"),
+            processors=max(procs, 1),
+            description=headers.get("note", ""),
+        )
+    if name is None:
+        name = headers.get("computer", machine.name)
+    return Workload(columns, machine, name)
+
+
+def read_swf(
+    path: Union[str, os.PathLike, TextIO],
+    *,
+    name: Optional[str] = None,
+    machine: Optional[MachineInfo] = None,
+) -> Workload:
+    """Read a workload from an SWF file path or open text file.
+
+    Gzip-compressed files are handled transparently (the Parallel
+    Workloads Archive distributes its logs as ``.swf.gz``), detected by
+    the gzip magic bytes rather than the extension.
+    """
+    if hasattr(path, "read"):
+        return parse_swf_text(path.read(), name=name, machine=machine)
+    with open(path, "rb") as raw:
+        magic = raw.read(2)
+    if magic == b"\x1f\x8b":
+        import gzip
+
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return parse_swf_text(fh.read(), name=name, machine=machine)
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_swf_text(fh.read(), name=name, machine=machine)
+
+
+def render_swf_text(workload: Workload, *, headers: Optional[Dict[str, str]] = None) -> str:
+    """Render a workload as SWF text (headers first, then one line per job)."""
+    buf = io.StringIO()
+    merged: Dict[str, str] = {
+        "Computer": workload.machine.name,
+        "MaxProcs": str(workload.machine.processors),
+        "MaxJobs": str(len(workload)),
+    }
+    if workload.machine.description:
+        merged["Note"] = workload.machine.description
+    if headers:
+        merged.update(headers)
+    for key, value in merged.items():
+        buf.write(f"; {key}: {value}\n")
+    cols = [workload.column(f.name) for f in SWF_FIELDS]
+    for i in range(len(workload)):
+        buf.write(" ".join(f.render(col[i]) for f, col in zip(SWF_FIELDS, cols)))
+        buf.write("\n")
+    return buf.getvalue()
+
+
+def write_swf(
+    workload: Workload,
+    path: Union[str, os.PathLike, TextIO],
+    *,
+    headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Write a workload to SWF at *path* (path or open text file).
+
+    Paths ending in ``.gz`` are gzip-compressed, matching how the archive
+    distributes its logs.
+    """
+    text = render_swf_text(workload, headers=headers)
+    if hasattr(path, "write"):
+        path.write(text)
+        return
+    if str(path).endswith(".gz"):
+        import gzip
+
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(text)
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

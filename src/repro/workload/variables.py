@@ -1,0 +1,127 @@
+"""Registry of the paper's workload variables.
+
+The Co-plot analyses operate on observation matrices whose columns are the
+Table 1 variables.  This module names those variables once (paper sign,
+full name, description) and assembles matrices from either computed
+:class:`~repro.workload.statistics.WorkloadStatistics` or raw per-sign
+mappings (the embedded paper tables in :mod:`repro.archive.targets`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.workload.statistics import WorkloadStatistics
+
+__all__ = [
+    "Variable",
+    "VARIABLES",
+    "variable",
+    "observation_vector",
+    "observation_matrix",
+    "MODEL_COMPARABLE_SIGNS",
+]
+
+ObservationLike = Union[WorkloadStatistics, Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One workload attribute: paper sign, full field name, description."""
+
+    sign: str
+    name: str
+    description: str
+
+
+VARIABLES: Dict[str, Variable] = {
+    v.sign: v
+    for v in (
+        Variable("MP", "machine_processors", "Number of processors in the system"),
+        Variable("SF", "scheduler_flexibility", "Scheduler rank: NQS=1, EASY=2, gang=3"),
+        Variable("AL", "allocation_flexibility", "Allocation rank: power-of-2=1, limited=2, unlimited=3"),
+        Variable("RL", "runtime_load", "Allocated node-seconds / available node-seconds"),
+        Variable("CL", "cpu_load", "Actual CPU work / available CPU time"),
+        Variable("E", "norm_executables", "Distinct executables per job"),
+        Variable("U", "norm_users", "Distinct users per job"),
+        Variable("C", "pct_completed", "Fraction of successfully completed jobs"),
+        Variable("Rm", "runtime_median", "Median of job runtimes (s)"),
+        Variable("Ri", "runtime_interval", "90% interval of job runtimes (s)"),
+        Variable("Pm", "procs_median", "Median degree of parallelism"),
+        Variable("Pi", "procs_interval", "90% interval of degree of parallelism"),
+        Variable("Nm", "norm_procs_median", "Median parallelism normalized to 128 procs"),
+        Variable("Ni", "norm_procs_interval", "90% interval of normalized parallelism"),
+        Variable("Cm", "cpu_work_median", "Median total CPU work (proc-seconds)"),
+        Variable("Ci", "cpu_work_interval", "90% interval of total CPU work"),
+        Variable("Im", "interarrival_median", "Median inter-arrival time (s)"),
+        Variable("Ii", "interarrival_interval", "90% interval of inter-arrival times"),
+    )
+}
+
+#: The eight variables every synthetic model can produce (Figure 4): order
+#: statistics of inter-arrival, runtime, parallelism and implied CPU work.
+MODEL_COMPARABLE_SIGNS: Tuple[str, ...] = ("Rm", "Ri", "Pm", "Pi", "Cm", "Ci", "Im", "Ii")
+
+
+def variable(sign: str) -> Variable:
+    """Look up a variable by its paper sign (e.g. ``"Rm"``)."""
+    try:
+        return VARIABLES[sign]
+    except KeyError:
+        raise KeyError(
+            f"unknown variable sign {sign!r}; known: {', '.join(VARIABLES)}"
+        ) from None
+
+
+def _value(obs: ObservationLike, sign: str) -> float:
+    if isinstance(obs, WorkloadStatistics):
+        return float(getattr(obs, VARIABLES[sign].name))
+    # Mapping: accept either the sign or the full name as key; None means
+    # the paper's N/A and becomes NaN.
+    for key in (sign, VARIABLES[sign].name):
+        if key in obs:
+            value = obs[key]
+            return math.nan if value is None else float(value)
+    return math.nan
+
+
+def observation_vector(obs: ObservationLike, signs: Sequence[str]) -> np.ndarray:
+    """Extract the values of *signs* from one observation (NaN if absent)."""
+    for s in signs:
+        variable(s)  # validate
+    return np.array([_value(obs, s) for s in signs], dtype=float)
+
+
+def observation_matrix(
+    observations: Sequence[ObservationLike],
+    signs: Sequence[str],
+    *,
+    labels: Sequence[str] = None,
+) -> Tuple[np.ndarray, List[str]]:
+    """Assemble the Co-plot input matrix Y (n observations x p variables).
+
+    Returns ``(matrix, row_labels)``.  Labels default to each observation's
+    ``name`` attribute / key, falling back to ``obs<i>``.
+    """
+    rows = [observation_vector(obs, signs) for obs in observations]
+    matrix = np.vstack(rows) if rows else np.empty((0, len(signs)))
+    if labels is None:
+        labels = []
+        for i, obs in enumerate(observations):
+            if isinstance(obs, WorkloadStatistics):
+                labels.append(obs.name)
+            elif isinstance(obs, Mapping) and "name" in obs:
+                labels.append(str(obs["name"]))
+            else:
+                labels.append(f"obs{i}")
+    else:
+        labels = list(labels)
+        if len(labels) != len(observations):
+            raise ValueError(
+                f"{len(labels)} labels for {len(observations)} observations"
+            )
+    return matrix, labels

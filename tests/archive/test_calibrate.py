@@ -1,0 +1,150 @@
+"""Tests for the synthesizer calibration helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.archive.calibrate import (
+    scale_tail_to_mean,
+    solve_lognormal_marginal,
+    solve_size_distribution,
+)
+from repro.archive.machines import MACHINES, Machine
+
+
+class TestLognormalMarginal:
+    def test_hits_both_targets(self):
+        d = solve_lognormal_marginal(68.0, 9064.0)
+        assert d.median() == pytest.approx(68.0, rel=1e-9)
+        assert d.interval(0.9) == pytest.approx(9064.0, rel=1e-6)
+
+    @given(
+        median=st.floats(min_value=1.0, max_value=2000.0),
+        ratio=st.floats(min_value=1.5, max_value=1000.0),
+    )
+    def test_property_roundtrip(self, median, ratio):
+        d = solve_lognormal_marginal(median, median * ratio)
+        assert d.median() == pytest.approx(median, rel=1e-6)
+
+
+class TestSizeDistribution:
+    def test_pow2_machine_support(self):
+        lanl = MACHINES["LANL"]
+        d = solve_size_distribution(lanl, 64.0, 224.0)
+        values = set(d.values.astype(int))
+        assert values <= {32, 64, 128, 256, 512, 1024}
+
+    def test_pow2_machine_median(self):
+        lanl = MACHINES["LANL"]
+        d = solve_size_distribution(lanl, 64.0, 224.0)
+        assert d.median() == 64.0
+
+    def test_general_machine_hits_median(self):
+        sdsc = MACHINES["SDSC"]
+        d = solve_size_distribution(sdsc, 5.0, 63.0)
+        assert d.median() == pytest.approx(5.0, abs=1.0)
+
+    def test_support_clipped_to_machine(self):
+        kth = MACHINES["KTH"]
+        d = solve_size_distribution(kth, 3.0, 31.0)
+        assert d.values.max() <= 100
+
+    def test_median_clipped_into_support(self):
+        tiny = Machine("tiny", "toy", 4, 1, 1, False, 1)
+        d = solve_size_distribution(tiny, 100.0, 500.0)
+        assert 1 <= d.median() <= 4
+
+    def test_single_size_machine(self):
+        one = Machine("one", "toy", 2, 1, 1, True, 2)
+        d = solve_size_distribution(one, 2.0, 1.0)
+        assert np.array_equal(d.values, [2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_size_distribution(MACHINES["CTC"], -1.0, 10.0)
+
+
+class TestScaleTail:
+    def test_hits_target_mean(self, rng):
+        x = rng.lognormal(3.0, 1.5, 5000)
+        target = x.mean() * 2.0
+        scaled, exact = scale_tail_to_mean(x, target)
+        assert exact
+        assert scaled.mean() == pytest.approx(target, rel=1e-9)
+
+    def test_quantiles_preserved(self, rng):
+        x = rng.lognormal(3.0, 1.5, 5000)
+        scaled, _ = scale_tail_to_mean(x, x.mean() * 3.0, tail_q=0.96)
+        for q in (0.05, 0.5, 0.95):
+            assert np.quantile(scaled, q) == pytest.approx(np.quantile(x, q), rel=1e-6)
+
+    def test_shrinking_keeps_order(self, rng):
+        x = rng.lognormal(3.0, 2.0, 5000)
+        target = x.mean() * 0.7
+        scaled, exact = scale_tail_to_mean(x, target)
+        boundary = np.quantile(x, 0.95)
+        assert np.all(scaled[x > boundary] >= boundary - 1e-9)
+        if exact:
+            assert scaled.mean() == pytest.approx(target, rel=1e-9)
+
+    def test_infeasible_shrink_flags(self, rng):
+        x = rng.lognormal(3.0, 0.5, 2000)
+        # Target below what collapsing the whole tail can reach.
+        scaled, exact = scale_tail_to_mean(x, x.mean() * 0.5)
+        assert not exact
+        assert scaled.mean() > x.mean() * 0.5
+
+    def test_body_untouched(self, rng):
+        x = rng.lognormal(3.0, 1.0, 2000)
+        scaled, _ = scale_tail_to_mean(x, x.mean() * 2.0)
+        boundary = np.quantile(x, 0.95)
+        body = x <= boundary
+        assert np.array_equal(scaled[body], x[body])
+
+    @given(st.floats(min_value=0.5, max_value=5.0))
+    def test_property_order_preserved(self, factor):
+        rng = np.random.default_rng(9)
+        x = rng.lognormal(2.0, 1.2, 1000)
+        scaled, _ = scale_tail_to_mean(x, x.mean() * factor)
+        # Weak order preservation: collapsing the tail onto the boundary
+        # may create ties, but never inverts a strict order.
+        order = np.argsort(x, kind="stable")
+        assert np.all(np.diff(scaled[order]) >= -1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_tail_to_mean([1.0, 2.0], -1.0)
+        with pytest.raises(ValueError):
+            scale_tail_to_mean([1.0], 1.0)
+
+
+class TestMachines:
+    def test_six_machines(self):
+        assert set(MACHINES) == {"CTC", "KTH", "LANL", "LLNL", "NASA", "SDSC"}
+
+    def test_info_conversion(self):
+        info = MACHINES["CTC"].info()
+        assert info.processors == 512
+        assert info.scheduler_flexibility == 2
+        assert info.allocation_flexibility == 3
+
+    def test_machine_for_suffixes(self):
+        from repro.archive.machines import machine_for
+
+        assert machine_for("LANLi").name == "LANL"
+        assert machine_for("SDSCb").name == "SDSC"
+        assert machine_for("L3").name == "LANL"
+        assert machine_for("S1").name == "SDSC"
+        assert machine_for("CTC").name == "CTC"
+        with pytest.raises(KeyError):
+            machine_for("XYZ")
+
+    def test_table1_consistency(self):
+        """Machine metadata agrees with the Table 1 columns."""
+        from repro.archive.targets import TABLE1
+
+        for name, machine in MACHINES.items():
+            assert TABLE1[name]["MP"] == machine.processors
+            assert TABLE1[name]["SF"] == machine.scheduler_flexibility
+            assert TABLE1[name]["AL"] == machine.allocation_flexibility

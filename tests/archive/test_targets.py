@@ -1,0 +1,129 @@
+"""Tests for the embedded paper tables."""
+
+import numpy as np
+import pytest
+
+from repro.archive.targets import (
+    ESTIMATOR_KEYS,
+    MODEL_TABLE3_NAMES,
+    PRODUCTION_NAMES,
+    TABLE1,
+    TABLE2,
+    TABLE2_NAMES,
+    TABLE2_PERIODS,
+    TABLE3,
+    TABLE3_ESTIMATORS,
+    hurst_target,
+    table1_row,
+    table2_row,
+    table3_matrix,
+    table3_row,
+)
+
+
+class TestTable1:
+    def test_ten_workloads(self):
+        assert len(TABLE1) == 10
+        assert set(TABLE1) == set(PRODUCTION_NAMES)
+
+    def test_every_row_has_18_variables(self):
+        for row in TABLE1.values():
+            assert len(row) == 18
+
+    def test_spot_values_from_paper(self):
+        assert TABLE1["CTC"]["Rm"] == 960
+        assert TABLE1["KTH"]["MP"] == 100
+        assert TABLE1["LANLb"]["Pi"] == 480.0
+        assert TABLE1["SDSCi"]["RL"] == 0.01
+        assert TABLE1["NASA"]["Cm"] == 19
+        assert TABLE1["SDSCb"]["Ci"] == 1754212
+
+    def test_na_cells(self):
+        assert TABLE1["NASA"]["RL"] is None
+        assert TABLE1["LLNL"]["CL"] is None
+        assert TABLE1["CTC"]["E"] is None
+        assert TABLE1["LLNL"]["C"] is None
+
+    def test_row_accessor_copies(self):
+        row = table1_row("CTC")
+        row["Rm"] = 0
+        assert TABLE1["CTC"]["Rm"] == 960
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown production workload"):
+            table1_row("XYZ")
+
+    def test_flexibility_ranks_valid(self):
+        for row in TABLE1.values():
+            assert row["SF"] in (1, 2, 3)
+            assert row["AL"] in (1, 2, 3)
+
+
+class TestTable2:
+    def test_eight_sublogs(self):
+        assert TABLE2_NAMES == ("L1", "L2", "L3", "L4", "S1", "S2", "S3", "S4")
+
+    def test_periods_cover_all(self):
+        assert set(TABLE2_PERIODS) == set(TABLE2_NAMES)
+        assert TABLE2_PERIODS["L3"] == "10/95-3/96"
+
+    def test_spot_values(self):
+        assert TABLE2["L3"]["Rm"] == 643  # the end-of-life regime change
+        assert TABLE2["S2"]["Im"] == 39
+        assert TABLE2["L4"]["Pm"] == 128
+
+    def test_machine_constants_injected(self):
+        assert TABLE2["L1"]["MP"] == 1024
+        assert TABLE2["S1"]["MP"] == 416
+
+    def test_sdsc_executables_na(self):
+        for name in ("S1", "S2", "S3", "S4"):
+            assert TABLE2[name]["E"] is None
+
+    def test_accessor(self):
+        assert table2_row("S4")["Rm"] == 527
+        with pytest.raises(KeyError):
+            table2_row("L9")
+
+
+class TestTable3:
+    def test_fifteen_rows(self):
+        assert len(TABLE3) == 15
+        assert set(TABLE3) == set(PRODUCTION_NAMES) | set(MODEL_TABLE3_NAMES)
+
+    def test_twelve_estimators_each(self):
+        for row in TABLE3.values():
+            assert set(row) == set(TABLE3_ESTIMATORS)
+
+    def test_spot_values(self):
+        assert TABLE3["LANLi"]["rp"] == 0.96
+        assert TABLE3["Downey"]["vp"] == 0.49
+        assert TABLE3["Feitelson96"]["rr"] == 0.26
+
+    def test_estimator_keys_cover_grid(self):
+        methods = {m for m, _ in ESTIMATOR_KEYS.values()}
+        attrs = {a for _, a in ESTIMATOR_KEYS.values()}
+        assert methods == {"rs", "variance", "periodogram"}
+        assert attrs == {"used_procs", "run_time", "cpu_time", "interarrival"}
+
+    def test_matrix_shape(self):
+        m, rows, cols = table3_matrix()
+        assert m.shape == (15, 12)
+        assert rows[0] == "CTC" and cols[0] == "rp"
+        assert m[0, 0] == 0.71
+
+    def test_hurst_target_is_mean_of_three(self):
+        expected = np.mean([0.71, 0.71, 0.68])
+        assert hurst_target("CTC", "used_procs") == pytest.approx(expected)
+
+    def test_hurst_target_validation(self):
+        with pytest.raises(KeyError):
+            hurst_target("CTC", "memory")
+        with pytest.raises(KeyError):
+            table3_row("Nobody")
+
+    def test_paper_headline_production_vs_models(self):
+        """The embedded data itself exhibits the paper's Section 9 claim."""
+        prod = np.mean([list(TABLE3[n].values()) for n in PRODUCTION_NAMES])
+        model = np.mean([list(TABLE3[n].values()) for n in MODEL_TABLE3_NAMES])
+        assert prod > model + 0.1

@@ -1,0 +1,118 @@
+"""Tests for Co-plot stage 4 (variable arrows)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coplot import (
+    Arrow,
+    angle_between,
+    arrow_correlation_matrix,
+    fit_arrow,
+    fit_arrows,
+)
+from repro.stats.correlation import pearson
+
+
+class TestFitArrow:
+    def test_axis_aligned_variable(self, rng):
+        coords = rng.normal(size=(20, 2))
+        arrow = fit_arrow(coords, coords[:, 0], "x")
+        assert arrow.correlation == pytest.approx(1.0)
+        assert abs(arrow.direction[0]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_negative_variable_flips_direction(self, rng):
+        coords = rng.normal(size=(20, 2))
+        pos = fit_arrow(coords, coords[:, 1])
+        neg = fit_arrow(coords, -coords[:, 1])
+        assert angle_between(pos, neg) == pytest.approx(180.0, abs=1e-4)
+
+    def test_unit_direction(self, rng):
+        coords = rng.normal(size=(15, 2))
+        arrow = fit_arrow(coords, rng.normal(size=15))
+        assert np.linalg.norm(arrow.direction) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=2 * math.pi))
+    def test_property_maximal_over_directions(self, theta):
+        rng = np.random.default_rng(17)
+        coords = rng.normal(size=(25, 2))
+        v = rng.normal(size=25) + coords[:, 0]
+        arrow = fit_arrow(coords, v)
+        candidate = np.array([math.cos(theta), math.sin(theta)])
+        assert arrow.correlation >= pearson(v, coords @ candidate) - 1e-9
+
+    def test_nan_values_ignored(self, rng):
+        coords = rng.normal(size=(20, 2))
+        v = coords[:, 0].copy()
+        v[0] = np.nan
+        arrow = fit_arrow(coords, v)
+        assert arrow.correlation == pytest.approx(1.0)
+
+    def test_too_few_points_zero_arrow(self, rng):
+        coords = rng.normal(size=(5, 2))
+        v = np.full(5, np.nan)
+        v[0] = 1.0
+        arrow = fit_arrow(coords, v)
+        assert arrow.correlation == 0.0
+        assert np.allclose(arrow.direction, 0.0)
+
+    def test_constant_variable_zero_arrow(self, rng):
+        coords = rng.normal(size=(10, 2))
+        arrow = fit_arrow(coords, np.full(10, 3.0))
+        assert arrow.correlation == 0.0
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="does not match"):
+            fit_arrow(rng.normal(size=(5, 2)), np.zeros(4))
+
+    def test_angle_degrees_range(self, rng):
+        coords = rng.normal(size=(10, 2))
+        arrow = fit_arrow(coords, rng.normal(size=10))
+        assert 0.0 <= arrow.angle_degrees < 360.0
+
+
+class TestFitArrows:
+    def test_one_per_column(self, rng):
+        coords = rng.normal(size=(12, 2))
+        z = rng.normal(size=(12, 4))
+        arrows = fit_arrows(coords, z, ["a", "b", "c", "d"])
+        assert [a.sign for a in arrows] == ["a", "b", "c", "d"]
+
+    def test_default_signs(self, rng):
+        arrows = fit_arrows(rng.normal(size=(8, 2)), rng.normal(size=(8, 2)))
+        assert arrows[0].sign == "v0"
+
+    def test_sign_count_validated(self, rng):
+        with pytest.raises(ValueError):
+            fit_arrows(rng.normal(size=(8, 2)), rng.normal(size=(8, 2)), ["only-one"])
+
+
+class TestAngles:
+    def test_angle_between_orthogonal(self):
+        a = Arrow("a", np.array([1.0, 0.0]), 1.0)
+        b = Arrow("b", np.array([0.0, 1.0]), 1.0)
+        assert angle_between(a, b) == pytest.approx(90.0)
+
+    def test_zero_arrow_gives_nan(self):
+        a = Arrow("a", np.array([1.0, 0.0]), 1.0)
+        z = Arrow("z", np.zeros(2), 0.0)
+        assert math.isnan(angle_between(a, z))
+
+    def test_correlation_matrix_cosines(self, rng):
+        """Correlated variables produce arrows whose cosine approximates
+        their correlation (the paper's stage 4 interpretation)."""
+        base = rng.normal(size=(40, 2))
+        v1 = base[:, 0]
+        v2 = 0.8 * base[:, 0] + 0.6 * base[:, 1]
+        arrows = fit_arrows(base, np.column_stack([v1, v2]))
+        cos = arrow_correlation_matrix(arrows)[0, 1]
+        assert cos == pytest.approx(pearson(v1, v2), abs=0.05)
+
+    def test_correlation_matrix_diagonal(self, rng):
+        arrows = fit_arrows(rng.normal(size=(10, 2)), rng.normal(size=(10, 3)))
+        m = arrow_correlation_matrix(arrows)
+        assert np.allclose(np.diag(m), 1.0)
+        assert np.allclose(m, m.T, equal_nan=True)

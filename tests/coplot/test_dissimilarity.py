@@ -1,0 +1,109 @@
+"""Tests for Co-plot stage 2 (city-block dissimilarities)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.coplot import city_block, euclidean, minkowski, pairwise_dissimilarity
+
+matrices = hnp.arrays(
+    float,
+    st.tuples(st.integers(min_value=2, max_value=10), st.integers(min_value=1, max_value=6)),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestPairMetrics:
+    def test_city_block_known(self):
+        assert city_block([0.0, 0.0], [3.0, 4.0]) == pytest.approx(7.0)
+
+    def test_euclidean_known(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_minkowski_interpolates(self):
+        a, b = [0.0, 0.0], [3.0, 4.0]
+        d15 = minkowski(a, b, 1.5)
+        assert euclidean(a, b) < d15 < city_block(a, b)
+
+    def test_minkowski_p_below_one_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            minkowski([0.0], [1.0], 0.5)
+
+    def test_nan_rescaling(self):
+        # One of two coordinates missing: the present difference is doubled
+        # (p / p_present scaling) so sparser pairs stay comparable.
+        assert city_block([1.0, np.nan], [3.0, 5.0]) == pytest.approx(4.0)
+
+    def test_no_shared_coordinates_rejected(self):
+        with pytest.raises(ValueError, match="no present variables"):
+            city_block([np.nan, 1.0], [2.0, np.nan])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            city_block([1.0], [1.0, 2.0])
+
+
+class TestPairwiseMatrix:
+    @given(matrices)
+    def test_property_metric_axioms(self, z):
+        s = pairwise_dissimilarity(z)
+        assert np.allclose(s, s.T)
+        assert np.allclose(np.diag(s), 0.0)
+        assert np.all(s >= 0)
+        n = z.shape[0]
+        # Triangle inequality for the city-block metric (no NaNs here).
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert s[i, j] <= s[i, k] + s[k, j] + 1e-8
+
+    def test_matches_pair_function(self, rng):
+        z = rng.normal(size=(5, 4))
+        s = pairwise_dissimilarity(z)
+        assert s[1, 3] == pytest.approx(city_block(z[1], z[3]))
+
+    def test_euclidean_metric_option(self, rng):
+        z = rng.normal(size=(4, 3))
+        s = pairwise_dissimilarity(z, metric="euclidean")
+        assert s[0, 2] == pytest.approx(euclidean(z[0], z[2]))
+
+    def test_float_metric(self, rng):
+        z = rng.normal(size=(4, 3))
+        s = pairwise_dissimilarity(z, metric=3.0)
+        assert s[0, 1] == pytest.approx(minkowski(z[0], z[1], 3.0))
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            pairwise_dissimilarity(np.zeros((3, 2)), metric="hamming")
+
+    def test_nan_path_agrees_with_pair_function(self, rng):
+        z = rng.normal(size=(5, 4))
+        z[1, 2] = np.nan
+        z[3, 0] = np.nan
+        s = pairwise_dissimilarity(z)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert s[i, j] == pytest.approx(city_block(z[i], z[j]))
+
+    def test_disjoint_nan_pair_rejected(self):
+        z = np.array([[np.nan, 1.0], [2.0, np.nan], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="share no present"):
+            pairwise_dissimilarity(z)
+
+    def test_identical_rows_zero(self):
+        z = np.array([[1.0, 2.0], [1.0, 2.0], [0.0, 0.0]])
+        s = pairwise_dissimilarity(z)
+        assert s[0, 1] == 0.0
+
+    def test_table1_style_matrix_computable(self):
+        """The actual Figure 1 input (with N/A cells) must be computable."""
+        from repro.experiments.common import production_matrix
+        from repro.coplot import normalize_matrix
+        from repro.workload.variables import VARIABLES
+
+        y, _ = production_matrix(list(VARIABLES))
+        s = pairwise_dissimilarity(normalize_matrix(y))
+        assert not np.any(np.isnan(s))
+        assert np.all(s[~np.eye(10, dtype=bool)] > 0)

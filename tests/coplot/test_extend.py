@@ -1,0 +1,106 @@
+"""Tests for Co-plot projection and bootstrap stability."""
+
+import numpy as np
+import pytest
+
+from repro.coplot import Coplot, bootstrap_stability, project_observation
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(7)
+    base = rng.normal(size=(10, 2))
+    y = np.column_stack(
+        [
+            base[:, 0],
+            2.0 * base[:, 0] + 0.1 * rng.normal(size=10),
+            base[:, 1],
+            base[:, 0] + base[:, 1],
+        ]
+    )
+    return y, Coplot().fit(y, labels=[f"w{i}" for i in range(10)], signs=list("ABCD"))
+
+
+class TestProjectObservation:
+    def test_existing_row_projects_onto_itself(self, fitted):
+        y, result = fitted
+        pos, stress = project_observation(result, y[3])
+        assert np.linalg.norm(pos - result.coords[3]) < 0.35
+        assert stress < 0.35
+
+    def test_duplicate_of_extreme_row(self, fitted):
+        y, result = fitted
+        extreme = int(np.argmax(np.abs(y[:, 0])))
+        pos, _ = project_observation(result, y[extreme])
+        dists = np.linalg.norm(result.coords - pos, axis=1)
+        assert int(np.argmin(dists)) == extreme
+
+    def test_average_row_lands_centrally(self, fitted):
+        y, result = fitted
+        pos, _ = project_observation(result, np.nanmean(y, axis=0))
+        centroid = result.coords.mean(axis=0)
+        spread = np.mean(np.linalg.norm(result.coords - centroid, axis=1))
+        assert np.linalg.norm(pos - centroid) < spread
+
+    def test_nan_values_allowed(self, fitted):
+        y, result = fitted
+        row = y[2].copy()
+        row[1] = np.nan
+        pos, stress = project_observation(result, row)
+        assert np.isfinite(pos).all()
+
+    def test_wrong_length_rejected(self, fitted):
+        _, result = fitted
+        with pytest.raises(ValueError, match="expected 4 values"):
+            project_observation(result, np.zeros(3))
+
+    def test_deterministic(self, fitted):
+        y, result = fitted
+        a, _ = project_observation(result, y[5], seed=3)
+        b, _ = project_observation(result, y[5], seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestBootstrapStability:
+    def test_structured_data_is_stable(self, fitted):
+        y, _ = fitted
+        report = bootstrap_stability(y, n_boot=8, seed=0)
+        assert report.mean_disparity < 0.35
+        assert report.positional_spread.shape == (10,)
+        assert np.all(report.positional_spread >= 0)
+
+    def test_labels_carried(self, fitted):
+        y, _ = fitted
+        report = bootstrap_stability(
+            y, labels=[f"w{i}" for i in range(10)], n_boot=4, seed=0
+        )
+        assert report.labels == [f"w{i}" for i in range(10)]
+        assert set(report.least_stable(2)) <= set(report.labels)
+
+    def test_n_boot_validation(self, fitted):
+        y, _ = fitted
+        with pytest.raises(ValueError, match="n_boot"):
+            bootstrap_stability(y, n_boot=1)
+
+    def test_noise_less_stable_than_structure(self):
+        rng = np.random.default_rng(11)
+        base = rng.normal(size=(9, 2))
+        structured = np.column_stack(
+            [base[:, 0], base[:, 0] * 1.5, base[:, 1], -base[:, 1]]
+        )
+        noise = rng.normal(size=(9, 4))
+        fast = Coplot(n_init=2)
+        rep_s = bootstrap_stability(structured, n_boot=6, coplot=fast, seed=1)
+        rep_n = bootstrap_stability(noise, n_boot=6, coplot=fast, seed=1)
+        assert rep_s.mean_disparity < rep_n.mean_disparity
+
+    def test_figure2_reference_use_case(self):
+        """The paper's own data: the Figure 2 map is bootstrap-stable."""
+        from repro.experiments.common import FIGURE2_SIGNS, production_matrix
+        from repro.experiments.figure2 import FIGURE2_NAMES
+
+        y, labels = production_matrix(FIGURE2_SIGNS, FIGURE2_NAMES)
+        report = bootstrap_stability(
+            y, labels=labels, signs=list(FIGURE2_SIGNS), n_boot=8, seed=0
+        )
+        assert report.mean_disparity < 0.4

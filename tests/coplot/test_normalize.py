@@ -1,0 +1,80 @@
+"""Tests for Co-plot stage 1 (normalization)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.coplot import normalize_matrix, zscore
+
+columns = hnp.arrays(
+    float,
+    st.integers(min_value=2, max_value=40),
+    elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+
+class TestZscore:
+    def test_known_values(self):
+        out = zscore([0.0, 10.0])
+        assert np.allclose(out, [-1.0, 1.0])
+
+    @given(columns)
+    def test_property_zero_mean_unit_std(self, x):
+        assume(np.std(x) > 1e-9)
+        z = zscore(x)
+        assert abs(z.mean()) < 1e-7
+        assert np.std(z) == pytest.approx(1.0, abs=1e-7)
+
+    def test_constant_column_zeros(self):
+        assert np.allclose(zscore([5.0, 5.0, 5.0]), 0.0)
+
+    def test_nan_preserved_and_ignored(self):
+        out = zscore([0.0, 10.0, np.nan])
+        assert np.isnan(out[2])
+        assert np.allclose(out[:2], [-1.0, 1.0])
+
+    def test_all_nan(self):
+        out = zscore([np.nan, np.nan])
+        assert np.all(np.isnan(out))
+
+    def test_ddof(self):
+        x = [0.0, 1.0, 2.0]
+        z0 = zscore(x, ddof=0)
+        z1 = zscore(x, ddof=1)
+        assert abs(z1[0]) < abs(z0[0])  # sample std is larger
+
+    def test_input_not_mutated(self):
+        x = np.array([1.0, 2.0, 3.0])
+        zscore(x)
+        assert np.array_equal(x, [1.0, 2.0, 3.0])
+
+    @given(columns, st.floats(min_value=0.1, max_value=100), st.floats(min_value=-50, max_value=50))
+    def test_affine_invariance(self, x, scale, shift):
+        assume(np.std(x) > 1e-6)
+        assume(np.std(x * scale) > 1e-9)
+        a = zscore(x)
+        b = zscore(x * scale + shift)
+        assert np.allclose(a, b, atol=1e-6)
+
+
+class TestNormalizeMatrix:
+    def test_per_column(self):
+        y = np.array([[0.0, 100.0], [10.0, 200.0]])
+        z = normalize_matrix(y)
+        assert np.allclose(z, [[-1.0, -1.0], [1.0, 1.0]])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            normalize_matrix([1.0, 2.0])
+
+    def test_preserves_shape(self, rng):
+        y = rng.normal(size=(7, 5))
+        assert normalize_matrix(y).shape == (7, 5)
+
+    def test_mixed_nan_columns(self):
+        y = np.array([[1.0, np.nan], [2.0, 1.0], [3.0, 3.0]])
+        z = normalize_matrix(y)
+        assert np.isnan(z[0, 1])
+        assert abs(np.nanmean(z[:, 1])) < 1e-9

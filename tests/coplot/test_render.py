@@ -1,0 +1,89 @@
+"""Tests for map rendering (ASCII, CSV, SVG)."""
+
+import numpy as np
+import pytest
+
+from repro.coplot import Coplot, coplot_to_csv, coplot_to_svg, render_ascii_map
+
+
+@pytest.fixture
+def fitted(rng):
+    y = rng.normal(size=(6, 3))
+    return Coplot(n_init=2).fit(
+        y, labels=[f"L{i}" for i in range(6)], signs=["a", "b", "c"]
+    )
+
+
+class TestAscii:
+    def test_contains_all_labels(self, fitted):
+        out = render_ascii_map(fitted)
+        for label in fitted.labels:
+            assert label in out
+
+    def test_contains_arrow_info(self, fitted):
+        out = render_ascii_map(fitted)
+        for arrow in fitted.arrows:
+            assert arrow.sign in out
+
+    def test_summary_line(self, fitted):
+        assert "alienation" in render_ascii_map(fitted)
+
+    def test_no_arrows_mode(self, fitted):
+        out = render_ascii_map(fitted, show_arrows=False)
+        assert "Arrows" not in out
+
+    def test_size_validation(self, fitted):
+        with pytest.raises(ValueError):
+            render_ascii_map(fitted, width=4)
+
+    def test_dimensions(self, fitted):
+        out = render_ascii_map(fitted, width=40, height=10)
+        lines = out.splitlines()
+        assert lines[0] == "+" + "-" * 40 + "+"
+        body = [l for l in lines if l.startswith("|")]
+        assert len(body) == 10
+
+
+class TestCsv:
+    def test_row_counts(self, fitted):
+        lines = coplot_to_csv(fitted).strip().splitlines()
+        assert len(lines) == 1 + 6 + 3  # header + observations + arrows
+
+    def test_observation_rows_parse(self, fitted):
+        lines = coplot_to_csv(fitted).strip().splitlines()[1:7]
+        for line, label in zip(lines, fitted.labels):
+            kind, name, x, y, corr = line.split(",")
+            assert kind == "observation" and name == label
+            float(x), float(y)
+
+    def test_arrow_rows_carry_correlation(self, fitted):
+        lines = coplot_to_csv(fitted).strip().splitlines()[7:]
+        for line, arrow in zip(lines, fitted.arrows):
+            parts = line.split(",")
+            assert parts[0] == "arrow"
+            assert float(parts[4]) == pytest.approx(arrow.correlation, abs=1e-3)
+
+
+class TestSvg:
+    def test_valid_header_and_footer(self, fitted):
+        svg = coplot_to_svg(fitted)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_all_labels_present(self, fitted):
+        svg = coplot_to_svg(fitted)
+        for label in fitted.labels:
+            assert f">{label}</text>" in svg
+
+    def test_one_circle_per_observation(self, fitted):
+        assert coplot_to_svg(fitted).count("<circle") == 6
+
+    def test_arrows_drawn_as_lines(self, fitted):
+        drawn = sum(1 for a in fitted.arrows if np.linalg.norm(a.direction) > 0)
+        assert coplot_to_svg(fitted).count("<line") == drawn
+
+    def test_escaping(self, rng):
+        y = rng.normal(size=(3, 2))
+        res = Coplot(n_init=2).fit(y, labels=["a<b", "c&d", "e>f"])
+        svg = coplot_to_svg(res)
+        assert "a&lt;b" in svg and "c&amp;d" in svg

@@ -1,0 +1,98 @@
+"""Integration tests for the extension experiments (paramodel, scheduling)."""
+
+import pytest
+
+from repro.experiments import run_parametric_model, run_scheduling
+
+
+class TestParametricModelExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_parametric_model(n_jobs=5000, seed=0)
+
+    def test_claims(self, result):
+        failed = [c for c in result.claims if not c.holds]
+        assert not failed, "\n".join(c.render() for c in failed)
+
+    def test_loo_errors_accessible(self, result):
+        errors = result.loo_log_errors("Ii")
+        assert len(errors) >= 8
+        assert all(isinstance(v, float) for v in errors.values())
+
+    def test_selfsim_above_iid(self, result):
+        assert result.hurst_selfsim > result.hurst_iid
+
+    def test_render(self, result):
+        text = result.render()
+        assert "parametric workload model" in text
+        assert "Leave-one-out" in text
+
+
+class TestSchedulingExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scheduling(n_jobs=2500, seed=0)
+
+    def test_claims(self, result):
+        failed = [c for c in result.claims if not c.holds]
+        assert not failed, "\n".join(c.render() for c in failed)
+
+    def test_selfsim_penalty(self, result):
+        """The paper's open question: self-similarity makes waits heavier
+        and queues burstier at equal load and marginals."""
+        assert result.selfsim_metrics.mean_wait > result.shuffled_metrics.mean_wait
+        assert (
+            result.selfsim_metrics.queue_depth_std
+            > result.shuffled_metrics.queue_depth_std
+        )
+
+    def test_utilizations_comparable(self, result):
+        assert result.selfsim_metrics.utilization == pytest.approx(
+            result.shuffled_metrics.utilization, abs=0.1
+        )
+
+    def test_scheduler_hierarchy(self, result):
+        assert (
+            result.policy_metrics["EASY"].mean_wait
+            <= result.policy_metrics["FCFS"].mean_wait
+        )
+
+    def test_allocator_hierarchy(self, result):
+        waits = {k: m.mean_wait for k, m in result.allocator_metrics.items()}
+        assert waits["unlimited (rank 3)"] <= waits["power-of-two (rank 1)"]
+
+    def test_render(self, result):
+        text = result.render()
+        assert "self-similar" in text
+        assert "EASY" in text
+
+
+class TestStabilityExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import run_stability
+
+        return run_stability(n_boot=20, seed=0)
+
+    def test_claims(self, result):
+        failed = [c for c in result.claims if not c.holds]
+        assert not failed, "\n".join(c.render() for c in failed)
+
+    def test_outliers_least_positionally_stable(self, result):
+        """The batch outliers stretch the map, so they move the most when
+        the variable set is resampled; LLNL (the 'average' workload)
+        should be among the most stable points."""
+        spread = dict(zip(result.report.labels, result.report.positional_spread))
+        ranked = sorted(spread, key=spread.get, reverse=True)
+        assert "LANLb" in ranked[:5]
+        assert ranked.index("LLNL") >= 5
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Cluster persistence" in text and "positional spread" in text
+
+    def test_validation(self):
+        from repro.experiments import run_stability
+
+        with pytest.raises(ValueError, match="n_boot"):
+            run_stability(n_boot=2)

@@ -1,0 +1,44 @@
+"""Tests for the experiments CLI."""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestRunner:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("table1", "figure1", "figure5", "param", "load"):
+            assert exp in out
+
+    def test_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_single_quick_run(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "[OK ]" in out
+
+    def test_out_dir_writes_artifacts(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["figure2", "--out", out_dir]) == 0
+        assert os.path.exists(os.path.join(out_dir, "figure2.txt"))
+        assert os.path.exists(os.path.join(out_dir, "figure2.csv"))
+        assert os.path.exists(os.path.join(out_dir, "figure2.svg"))
+
+    def test_quick_flag_threads_n_jobs(self, capsys):
+        assert main(["table2", "--quick"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_report_scorecard(self, tmp_path, capsys):
+        report = tmp_path / "score.md"
+        assert main(["figure2", "--report", str(report)]) == 0
+        text = report.read_text()
+        assert "Reproduction scorecard" in text
+        assert "claims hold" in text
+        assert "| figure2 |" in text

@@ -1,0 +1,126 @@
+"""Tests for the Section 8 parametric workload model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.archive.targets import PRODUCTION_NAMES, TABLE1
+from repro.models.parametric import ParametricWorkloadModel
+from repro.workload import compute_statistics
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ParametricWorkloadModel()
+
+
+class TestFit:
+    def test_fits_scale_and_load_variables(self, model):
+        fitted = set(model.regressions)
+        assert {"Rm", "Ri", "Pi", "Cm", "Ci", "Ii", "RL"} <= fitted
+
+    def test_well_correlated_variables_fit_well(self, model):
+        """Ii sits in the same Figure 1 cluster as Im: the regression on
+        (AL, Pm, Im) must capture most of its variance."""
+        assert model.regressions["Ii"].r_squared > 0.7
+        assert model.regressions["Pi"].r_squared > 0.7
+
+    def test_needs_enough_references(self):
+        ref = {n: TABLE1[n] for n in list(PRODUCTION_NAMES)[:3]}
+        with pytest.raises(ValueError, match="at least 5"):
+            ParametricWorkloadModel(ref)
+
+    def test_custom_reference_accepted(self):
+        ref = {n: TABLE1[n] for n in list(PRODUCTION_NAMES)[:6]}
+        m = ParametricWorkloadModel(ref)
+        assert m.regressions
+
+
+class TestPredict:
+    def test_keys(self, model):
+        pred = model.predict_variables(2, 8.0, 120.0)
+        assert pred["AL"] == 2.0 and pred["Pm"] == 8.0 and pred["Im"] == 120.0
+        assert pred["Rm"] > 0 and pred["Ii"] > 0
+
+    def test_loads_clipped(self, model):
+        pred = model.predict_variables(3, 1.0, 10000.0)
+        assert 0.01 <= pred["RL"] <= 0.95
+
+    def test_monotone_in_interarrival(self, model):
+        """Longer inter-arrival medians predict longer Ii (same cluster)."""
+        low = model.predict_variables(2, 8.0, 20.0)
+        high = model.predict_variables(2, 8.0, 500.0)
+        assert high["Ii"] > low["Ii"]
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError, match="AL"):
+            model.predict_variables(4, 8.0, 120.0)
+        with pytest.raises(ValueError):
+            model.predict_variables(2, -1.0, 120.0)
+
+
+class TestGenerate:
+    def test_stream_matches_inputs(self, model):
+        w = model.generate(4000, al=2, pm=8.0, im=150.0, seed=0)
+        stats = compute_statistics(w).by_sign()
+        assert stats["Pm"] == pytest.approx(8.0, rel=0.25)
+        assert stats["Im"] == pytest.approx(150.0, rel=0.05)
+
+    def test_stream_matches_predictions(self, model):
+        pred = model.predict_variables(2, 8.0, 150.0)
+        w = model.generate(4000, al=2, pm=8.0, im=150.0, seed=0)
+        stats = compute_statistics(w).by_sign()
+        assert stats["Rm"] == pytest.approx(pred["Rm"], rel=0.05)
+        assert stats["Ri"] == pytest.approx(pred["Ri"], rel=0.1)
+
+    def test_pow2_machine_for_al1(self, model):
+        w = model.generate(2000, al=1, pm=8.0, im=150.0, seed=0)
+        procs = w.column("used_procs")
+        assert np.all((procs & (procs - 1)) == 0)
+
+    def test_self_similarity_toggle(self, model):
+        from repro.selfsim import hurst_summary, workload_series
+
+        on = model.generate(12000, seed=1, self_similar=True)
+        off = model.generate(12000, seed=1, self_similar=False)
+        h_on = np.mean(list(hurst_summary(workload_series(on, "interarrival")).values()))
+        h_off = np.mean(list(hurst_summary(workload_series(off, "interarrival")).values()))
+        assert h_on > h_off + 0.05
+
+    def test_hurst_override(self, model):
+        from repro.selfsim import hurst_summary, workload_series
+
+        w = model.generate(12000, seed=2, hurst={"interarrival": 0.9})
+        h = np.mean(list(hurst_summary(workload_series(w, "interarrival")).values()))
+        assert h > 0.7
+
+    def test_deterministic(self, model):
+        a = model.generate(1000, seed=9)
+        b = model.generate(1000, seed=9)
+        assert np.array_equal(a.column("run_time"), b.column("run_time"))
+
+    def test_pm_clipped_to_machine(self, model):
+        w = model.generate(1000, al=2, pm=500.0, im=100.0, machine_procs=64, seed=0)
+        assert w.column("used_procs").max() <= 64
+
+
+class TestLeaveOneOut:
+    def test_covers_reference_workloads(self, model):
+        loo = model.leave_one_out()
+        assert set(loo) == set(PRODUCTION_NAMES)
+
+    def test_pairs_have_positive_actuals(self, model):
+        loo = model.leave_one_out()
+        for pairs in loo.values():
+            for pred, actual in pairs.values():
+                assert pred > 0 and actual > 0
+
+    def test_interarrival_interval_predictable(self, model):
+        """The Ii variable (tightly clustered with Im) predicts within
+        half an order of magnitude for most held-out workloads."""
+        loo = model.leave_one_out(signs=("Ii",))
+        errors = [
+            abs(math.log10(p / a)) for pairs in loo.values() for p, a in pairs.values()
+        ]
+        assert np.median(errors) < 0.35

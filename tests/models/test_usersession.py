@@ -1,0 +1,99 @@
+"""Tests for the user-session (multi-class) workload model."""
+
+import numpy as np
+import pytest
+
+from repro.models import UserSessionModel
+from repro.selfsim import binned_counts, hurst_summary
+from repro.workload import compute_statistics
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return UserSessionModel(n_users=32).generate(8000, seed=0)
+
+
+class TestStructure:
+    def test_stream_validity(self, stream):
+        assert len(stream) == 8000
+        assert np.all(stream.column("used_procs") >= 1)
+        assert np.all(stream.column("run_time") >= 0)
+        assert np.all(np.diff(stream.column("submit_time")) >= 0)
+
+    def test_user_population_respected(self, stream):
+        users = np.unique(stream.column("user_id"))
+        assert users.size <= 32
+        assert users.size > 16  # most users contribute
+
+    def test_one_executable_per_user(self, stream):
+        users = stream.column("user_id")
+        execs = stream.column("executable_id")
+        for uid in np.unique(users)[:10]:
+            assert np.unique(execs[users == uid]).size == 1
+
+    def test_users_have_characteristic_sizes(self, stream):
+        users = stream.column("user_id")
+        procs = stream.column("used_procs")
+        for uid in np.unique(users)[:10]:
+            assert np.unique(procs[users == uid]).size == 1
+
+    def test_sessions_are_sequential_per_user(self, stream):
+        """Within a session, a user's next submit follows the previous
+        job's completion (submit + runtime <= next submit)."""
+        users = stream.column("user_id")
+        submit = stream.column("submit_time")
+        run = stream.column("run_time")
+        uid = np.unique(users)[0]
+        mask = users == uid
+        s, r = submit[mask], run[mask]
+        order = np.argsort(s)
+        s, r = s[order], r[order]
+        # Every next submit is after the previous job ends (think >= 0).
+        assert np.all(s[1:] >= s[:-1] + r[:-1] - 1e-6)
+
+    def test_think_times_recorded(self, stream):
+        assert np.all(stream.column("think_time") >= 0)
+
+    def test_deterministic(self):
+        a = UserSessionModel().generate(1000, seed=5)
+        b = UserSessionModel().generate(1000, seed=5)
+        assert np.array_equal(a.column("submit_time"), b.column("submit_time"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="session_tail"):
+            UserSessionModel(session_tail=1.0)
+        with pytest.raises(ValueError, match="n_users"):
+            UserSessionModel(n_users=0)
+
+
+class TestWorkloadCharacter:
+    def test_low_normalized_users(self, stream):
+        """Repeated per-user work gives the archive-typical tiny U and E
+        ratios (Table 1: 0.001-0.03)."""
+        stats = compute_statistics(stream)
+        assert stats.norm_users < 0.02
+        assert stats.norm_executables < 0.02
+
+    def test_statistics_computable(self, stream):
+        signs = compute_statistics(stream).by_sign()
+        for key in ("Rm", "Ri", "Pm", "Pi", "Im", "Ii"):
+            assert signs[key] > 0
+
+
+class TestSelfSimilarityEmergence:
+    """Section 9's conjecture, demonstrated: heavy-tailed human sessions
+    make the aggregate workload self-similar; light-tailed ones do not."""
+
+    @staticmethod
+    def _counts_h(tail: float, seed: int) -> float:
+        w = UserSessionModel(session_tail=tail).generate(30000, seed=seed)
+        counts = binned_counts(w, 1800.0)
+        return float(np.mean(list(hurst_summary(counts).values())))
+
+    def test_heavy_sessions_are_lrd(self):
+        assert self._counts_h(1.2, seed=1) > 0.68
+
+    def test_heavy_beats_light(self):
+        heavy = self._counts_h(1.2, seed=1)
+        light = self._counts_h(8.0, seed=1)
+        assert heavy > light + 0.05

@@ -1,0 +1,84 @@
+"""Tests for the processor allocators."""
+
+import pytest
+
+from repro.scheduler import (
+    LimitedAllocator,
+    PowerOfTwoAllocator,
+    UnlimitedAllocator,
+    allocator_for_flexibility,
+)
+
+
+class TestUnlimited:
+    def test_identity(self):
+        a = UnlimitedAllocator()
+        assert a.consumed(1) == 1
+        assert a.consumed(17) == 17
+
+    def test_flexibility_rank(self):
+        assert UnlimitedAllocator.flexibility == 3
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize(
+        "requested,expected",
+        [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (9, 16), (17, 32), (33, 64)],
+    )
+    def test_rounds_up(self, requested, expected):
+        assert PowerOfTwoAllocator().consumed(requested) == expected
+
+    def test_min_size(self):
+        a = PowerOfTwoAllocator(min_size=32)
+        assert a.consumed(1) == 32
+        assert a.consumed(33) == 64
+
+    def test_min_size_validation(self):
+        with pytest.raises(ValueError):
+            PowerOfTwoAllocator(min_size=0)
+
+    def test_flexibility_rank(self):
+        assert PowerOfTwoAllocator.flexibility == 1
+
+
+class TestLimited:
+    @pytest.mark.parametrize(
+        "requested,expected", [(1, 4), (4, 4), (5, 8), (9, 12), (12, 12)]
+    )
+    def test_block_rounding(self, requested, expected):
+        assert LimitedAllocator(block=4).consumed(requested) == expected
+
+    def test_block_one_is_unlimited(self):
+        assert LimitedAllocator(block=1).consumed(7) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LimitedAllocator(block=0)
+
+
+class TestValidate:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            UnlimitedAllocator().validate(0, 64)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValueError, match="more"):
+            PowerOfTwoAllocator().validate(65, 64)
+
+    def test_passes_through(self):
+        assert LimitedAllocator(block=4).validate(5, 64) == 8
+
+
+class TestFactory:
+    def test_ranks(self):
+        assert isinstance(allocator_for_flexibility(1), PowerOfTwoAllocator)
+        assert isinstance(allocator_for_flexibility(2), LimitedAllocator)
+        assert isinstance(allocator_for_flexibility(3), UnlimitedAllocator)
+
+    def test_kwargs_forwarded(self):
+        a = allocator_for_flexibility(1, min_size=16)
+        assert a.min_size == 16
+
+    def test_bad_rank(self):
+        with pytest.raises(ValueError):
+            allocator_for_flexibility(4)

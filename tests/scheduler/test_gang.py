@@ -1,0 +1,102 @@
+"""Tests for the gang-scheduling simulator."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler import UnlimitedAllocator, simulate_gang
+from repro.workload import MachineInfo, Workload
+
+
+def make_workload(jobs, procs=8):
+    submit, run, size = zip(*jobs)
+    return Workload.from_arrays(
+        machine=MachineInfo("gang", procs),
+        submit_time=np.array(submit, dtype=float),
+        run_time=np.array(run, dtype=float),
+        used_procs=np.array(size, dtype=int),
+    )
+
+
+class TestGangBasics:
+    def test_uncontended_job_runs_at_full_speed(self):
+        w = make_workload([(0.0, 10.0, 4)])
+        res = simulate_gang(w)
+        assert res.completion[0] == pytest.approx(10.0)
+        assert res.stretch[0] == pytest.approx(1.0)
+
+    def test_two_fitting_jobs_share_one_row(self):
+        w = make_workload([(0.0, 10.0, 4), (0.0, 10.0, 4)])
+        res = simulate_gang(w)
+        assert np.allclose(res.completion, 10.0)
+        assert res.max_rows == 1
+
+    def test_oversubscription_halves_speed(self):
+        # Two machine-filling jobs: two rows, each at half speed.
+        w = make_workload([(0.0, 10.0, 8), (0.0, 10.0, 8)])
+        res = simulate_gang(w)
+        assert np.allclose(res.completion, 20.0)
+        assert np.allclose(res.stretch, 2.0)
+        assert res.max_rows == 2
+
+    def test_no_queueing_late_arrival_admitted_immediately(self):
+        # Job 2 arrives while job 1 occupies the machine: both make
+        # progress at half speed from t=5 on.
+        w = make_workload([(0.0, 10.0, 8), (5.0, 10.0, 8)])
+        res = simulate_gang(w)
+        # Job 1: 5s full speed + remaining 5s of work at 1/2 -> ends 15.
+        assert res.completion[0] == pytest.approx(15.0)
+        # Job 2: at t=15 it has received 5s of work; then full speed.
+        assert res.completion[1] == pytest.approx(20.0)
+
+    def test_rate_recovers_after_completion(self):
+        # Short sharing period, then the survivor speeds back up.
+        w = make_workload([(0.0, 2.0, 8), (0.0, 10.0, 8)])
+        res = simulate_gang(w)
+        # Shared until job 1 finishes at t=4 (2s work at 1/2 speed).
+        assert res.completion[0] == pytest.approx(4.0)
+        # Job 2 then has 8s of work left at full speed.
+        assert res.completion[1] == pytest.approx(12.0)
+
+    def test_all_jobs_complete(self, rng):
+        # Offered load ~ 200 * 25 * 4.5 / (8 * 5000) ~ 0.56: stable.
+        jobs = [
+            (float(t), float(rng.uniform(1, 50)), int(rng.integers(1, 9)))
+            for t in np.sort(rng.uniform(0, 5000, 200))
+        ]
+        res = simulate_gang(make_workload(jobs))
+        assert not np.any(np.isnan(res.completion))
+        assert np.all(res.completion >= res.submit)
+        assert np.all(res.stretch >= 1.0 - 1e-9)
+
+    def test_work_conservation(self, rng):
+        """Total service delivered equals total work demanded."""
+        jobs = [
+            (float(t), float(rng.uniform(1, 20)), int(rng.integers(1, 9)))
+            for t in np.sort(rng.uniform(0, 200, 50))
+        ]
+        res = simulate_gang(make_workload(jobs))
+        # Residence time is at least the runtime for every job.
+        assert np.all(res.residence >= res.runtime - 1e-6)
+
+    def test_max_rows_guard(self):
+        # 20 simultaneous machine-filling jobs with max_rows 4: refuse.
+        w = make_workload([(0.0, 10.0, 8)] * 20)
+        with pytest.raises(RuntimeError, match="max_rows"):
+            simulate_gang(w, max_rows=4)
+
+    def test_allocator_applies(self):
+        w = make_workload([(0.0, 10.0, 5), (0.0, 10.0, 5)], procs=8)
+        # Unlimited: 5+5=10 > 8 -> two rows, stretch 2.
+        res = simulate_gang(w, UnlimitedAllocator())
+        assert res.max_rows == 2
+
+    def test_responsiveness_vs_space_sharing(self, rng):
+        """Gang scheduling's selling point: short jobs are never stuck
+        behind long ones (no queueing), so their residence is bounded by
+        stretch, not by the long job's runtime."""
+        # A short job arrives right after a machine-filling long job.
+        w = make_workload([(0.0, 1000.0, 8), (1.0, 10.0, 8)])
+        gang = simulate_gang(w)
+        short_residence = gang.residence[1]
+        # Space-shared FCFS would hold it for ~999s; gang time-slices.
+        assert short_residence < 100.0

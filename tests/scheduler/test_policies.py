@@ -1,0 +1,117 @@
+"""Unit tests for the scheduling policies (direct select() calls)."""
+
+import pytest
+
+from repro.scheduler import (
+    ConservativeBackfillScheduler,
+    EasyBackfillScheduler,
+    FcfsScheduler,
+    scheduler_for_flexibility,
+)
+from repro.scheduler.policies import QueuedJob
+
+
+def job(index, size, runtime, submit=0.0):
+    return QueuedJob(
+        index=index, submit=submit, size=size, runtime=runtime, estimate=runtime
+    )
+
+
+class TestFcfs:
+    def test_starts_head_while_fits(self):
+        queue = [job(0, 4, 10), job(1, 4, 10), job(2, 8, 10)]
+        started = FcfsScheduler().select(0.0, queue, free=8, running=[])
+        assert [j.index for j in started] == [0, 1]
+
+    def test_never_jumps_queue(self):
+        # Head needs 8, only 4 free; the small job behind must NOT start.
+        queue = [job(0, 8, 10), job(1, 2, 1)]
+        started = FcfsScheduler().select(0.0, queue, free=4, running=[(50.0, 4)])
+        assert started == []
+
+    def test_empty_queue(self):
+        assert FcfsScheduler().select(0.0, [], free=8, running=[]) == []
+
+
+class TestEasy:
+    def test_backfills_short_job(self):
+        # Head needs 8 (free at t=100); the 1-unit job runs 10s < shadow.
+        queue = [job(0, 8, 50), job(1, 2, 10)]
+        started = EasyBackfillScheduler().select(
+            0.0, queue, free=4, running=[(100.0, 4)]
+        )
+        assert [j.index for j in started] == [1]
+
+    def test_does_not_delay_head(self):
+        # The backfill candidate would run past the shadow AND needs more
+        # than the extra processors: blocked.
+        queue = [job(0, 8, 50), job(1, 4, 1000)]
+        started = EasyBackfillScheduler().select(
+            0.0, queue, free=4, running=[(100.0, 4)]
+        )
+        assert started == []
+
+    def test_backfill_within_extra(self):
+        # Machine of 12: running (end 100, size 8), free 4.  Head wants 8
+        # -> shadow 100, extra = (4+8)-8 = 4.  A long job of size 4 fits
+        # inside the extra and may run past the shadow.
+        queue = [job(0, 8, 50), job(1, 4, 1000)]
+        started = EasyBackfillScheduler().select(
+            0.0, queue, free=4, running=[(100.0, 8)]
+        )
+        assert [j.index for j in started] == [1]
+
+    def test_head_started_first(self):
+        queue = [job(0, 2, 10), job(1, 8, 50)]
+        started = EasyBackfillScheduler().select(0.0, queue, free=4, running=[])
+        assert [j.index for j in started] == [0]
+
+    def test_multiple_backfills_respect_capacity(self):
+        queue = [job(0, 8, 50), job(1, 2, 5), job(2, 2, 5), job(3, 2, 5)]
+        started = EasyBackfillScheduler().select(
+            0.0, queue, free=4, running=[(100.0, 4)]
+        )
+        total = sum(j.size for j in started)
+        assert total <= 4
+        assert [j.index for j in started] == [1, 2]
+
+
+class TestConservative:
+    def test_starts_when_fits(self):
+        queue = [job(0, 4, 10)]
+        started = ConservativeBackfillScheduler().select(0.0, queue, free=8, running=[])
+        assert [j.index for j in started] == [0]
+
+    def test_backfills_without_delaying_reservations(self):
+        # Head (8) reserved at t=100.  Short small job can slot in now.
+        queue = [job(0, 8, 50), job(1, 2, 10)]
+        started = ConservativeBackfillScheduler().select(
+            0.0, queue, free=4, running=[(100.0, 4)]
+        )
+        assert [j.index for j in started] == [1]
+
+    def test_respects_second_reservation(self):
+        # Two queued 8-wide jobs hold reservations at 100 and 150; a
+        # 4-wide job lasting 1000 would collide with both reservations'
+        # capacity and must wait.
+        queue = [job(0, 8, 50), job(1, 8, 50), job(2, 4, 1000)]
+        started = ConservativeBackfillScheduler().select(
+            0.0, queue, free=4, running=[(100.0, 4)]
+        )
+        assert [j.index for j in started] == []
+
+    def test_never_oversubscribes(self):
+        queue = [job(i, 3, 10) for i in range(5)]
+        started = ConservativeBackfillScheduler().select(0.0, queue, free=8, running=[])
+        assert sum(j.size for j in started) <= 8
+
+
+class TestFactory:
+    def test_ranks(self):
+        assert scheduler_for_flexibility(1).name == "FCFS"
+        assert scheduler_for_flexibility(2).name == "EASY"
+        assert scheduler_for_flexibility(3).name == "conservative"
+
+    def test_bad_rank(self):
+        with pytest.raises(ValueError):
+            scheduler_for_flexibility(0)

@@ -1,0 +1,99 @@
+"""Tests for the independence-preserving shuffles."""
+
+import numpy as np
+import pytest
+
+from repro.archive import synthesize_workload
+from repro.scheduler import shuffle_interarrivals, shuffle_order
+from repro.selfsim import hurst_summary, workload_series
+from repro.workload import compute_statistics
+
+
+@pytest.fixture(scope="module")
+def lanl():
+    return synthesize_workload("LANL", n_jobs=8000, seed=3)
+
+
+class TestShuffleInterarrivals:
+    def test_gap_multiset_preserved(self, lanl):
+        out = shuffle_interarrivals(lanl, seed=0)
+        gaps_a = np.sort(np.diff(lanl.column("submit_time")))
+        gaps_b = np.sort(np.diff(out.column("submit_time")))
+        assert np.allclose(gaps_a, gaps_b)
+
+    def test_attributes_untouched(self, lanl):
+        out = shuffle_interarrivals(lanl, seed=0)
+        assert np.array_equal(out.column("run_time"), lanl.sorted_by_submit().column("run_time"))
+
+    def test_marginal_statistics_preserved(self, lanl):
+        a = compute_statistics(lanl).by_sign()
+        b = compute_statistics(shuffle_interarrivals(lanl, seed=0)).by_sign()
+        for sign in ("Im", "Ii", "Rm", "Ri", "Pm", "Pi"):
+            assert b[sign] == pytest.approx(a[sign], rel=0.02)
+
+    def test_destroys_arrival_lrd(self, lanl):
+        original = np.mean(
+            list(hurst_summary(workload_series(lanl, "interarrival")).values())
+        )
+        shuffled_w = shuffle_interarrivals(lanl, seed=0)
+        shuffled = np.mean(
+            list(hurst_summary(workload_series(shuffled_w, "interarrival")).values())
+        )
+        assert original > 0.6
+        assert shuffled < 0.58
+
+    def test_name_suffix(self, lanl):
+        assert shuffle_interarrivals(lanl, seed=0).name.endswith("-iidgaps")
+
+    def test_deterministic(self, lanl):
+        a = shuffle_interarrivals(lanl, seed=5).column("submit_time")
+        b = shuffle_interarrivals(lanl, seed=5).column("submit_time")
+        assert np.array_equal(a, b)
+
+
+class TestShuffleOrder:
+    def test_arrivals_untouched(self, lanl):
+        out = shuffle_order(lanl, seed=0)
+        assert np.array_equal(
+            out.column("submit_time"), lanl.sorted_by_submit().column("submit_time")
+        )
+
+    def test_attribute_multisets_preserved(self, lanl):
+        out = shuffle_order(lanl, seed=0)
+        for field in ("run_time", "used_procs", "user_id"):
+            assert np.allclose(
+                np.sort(out.column(field)), np.sort(lanl.column(field))
+            )
+
+    def test_rows_travel_together(self, lanl):
+        """A job's runtime and size stay paired through the shuffle."""
+        base = lanl.sorted_by_submit()
+        out = shuffle_order(lanl, seed=0)
+        pairs_before = set(
+            zip(base.column("run_time").round(6), base.column("used_procs"))
+        )
+        pairs_after = set(
+            zip(out.column("run_time").round(6), out.column("used_procs"))
+        )
+        assert pairs_before == pairs_after
+
+    def test_destroys_attribute_lrd(self, lanl):
+        original = np.mean(
+            list(hurst_summary(workload_series(lanl, "run_time")).values())
+        )
+        shuffled_w = shuffle_order(lanl, seed=0)
+        shuffled = np.mean(
+            list(hurst_summary(workload_series(shuffled_w, "run_time")).values())
+        )
+        assert original > 0.6
+        assert shuffled < 0.58
+
+    def test_unknown_field_rejected(self, lanl):
+        with pytest.raises(ValueError, match="unknown fields"):
+            shuffle_order(lanl, fields=["not_a_field"])
+
+    def test_composition_kills_all_lrd(self, lanl):
+        both = shuffle_order(shuffle_interarrivals(lanl, seed=1), seed=2)
+        for attr in ("run_time", "interarrival", "used_procs"):
+            h = np.mean(list(hurst_summary(workload_series(both, attr)).values()))
+            assert h < 0.58, attr

@@ -1,0 +1,77 @@
+"""Tests for periodogram-based cycle detection."""
+
+import numpy as np
+import pytest
+
+from repro.selfsim import Cycle, binned_counts, find_cycles
+
+
+class TestFindCycles:
+    def test_pure_sine_detected(self):
+        n = 2048
+        t = np.arange(n)
+        x = np.sin(2 * np.pi * t / 64.0)
+        cycles = find_cycles(x)
+        assert cycles
+        assert cycles[0].period == pytest.approx(64.0, rel=0.02)
+
+    def test_sine_in_noise_detected(self, rng):
+        n = 4096
+        t = np.arange(n)
+        x = np.sin(2 * np.pi * t / 100.0) + 0.5 * rng.normal(size=n)
+        cycles = find_cycles(x)
+        assert cycles
+        assert cycles[0].period == pytest.approx(100.0, rel=0.05)
+
+    def test_two_cycles_ranked_by_prominence(self, rng):
+        n = 4096
+        t = np.arange(n)
+        x = 2.0 * np.sin(2 * np.pi * t / 64.0) + 0.8 * np.sin(2 * np.pi * t / 17.0)
+        cycles = find_cycles(x, top_k=2)
+        assert len(cycles) == 2
+        assert cycles[0].period == pytest.approx(64.0, rel=0.05)
+        assert cycles[1].period == pytest.approx(17.0, rel=0.05)
+
+    def test_white_noise_clean(self, rng):
+        assert find_cycles(rng.normal(size=4096)) == []
+
+    def test_lrd_series_clean(self):
+        """The 1/f trend of fGn must not masquerade as a cycle."""
+        from repro.selfsim import fgn
+
+        assert find_cycles(fgn(2**13, 0.85, seed=3)) == []
+
+    def test_lublin_daily_cycle(self):
+        """The Lublin model's rush-hour cycle shows up at 24 hours in the
+        hourly arrival counts."""
+        from repro.models import LublinModel
+
+        w = LublinModel(cycle_amplitude=0.8, median_interarrival=40.0).generate(
+            20000, seed=0
+        )
+        cycles = find_cycles(binned_counts(w, 3600.0))
+        assert cycles
+        assert cycles[0].period == pytest.approx(24.0, rel=0.05)
+
+    def test_cycle_free_model_clean(self):
+        from repro.models import LublinModel
+
+        w = LublinModel(cycle_amplitude=0.0, median_interarrival=40.0).generate(
+            20000, seed=0
+        )
+        assert find_cycles(binned_counts(w, 3600.0)) == []
+
+    def test_short_series_empty(self):
+        assert find_cycles(np.ones(10)) == []
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            find_cycles(np.ones(100), top_k=0)
+
+    def test_cycle_fields_consistent(self):
+        n = 2048
+        x = np.sin(2 * np.pi * np.arange(n) / 32.0)
+        c = find_cycles(x)[0]
+        assert isinstance(c, Cycle)
+        assert c.period == pytest.approx(2 * np.pi / c.frequency)
+        assert c.power > 0 and c.prominence > 30

@@ -1,0 +1,113 @@
+"""Tests for repro.stats.correlation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats.correlation import (
+    correlation_matrix,
+    pearson,
+    rankdata_average,
+    spearman,
+)
+
+vec = hnp.arrays(
+    float,
+    st.integers(min_value=3, max_value=40),
+    elements=st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_gives_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_symmetry(self, rng):
+        x, y = rng.normal(size=20), rng.normal(size=20)
+        assert pearson(x, y) == pytest.approx(pearson(y, x))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            pearson([1, 2], [1, 2, 3])
+
+    @given(vec)
+    def test_self_correlation(self, x):
+        if np.std(x) > 0:
+            assert pearson(x, x) == pytest.approx(1.0)
+
+    @given(vec)
+    def test_bounded(self, x):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=len(x))
+        assert -1.0 <= pearson(x, y) <= 1.0
+
+    def test_matches_numpy(self, rng):
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+
+class TestRanks:
+    def test_simple(self):
+        assert np.array_equal(rankdata_average([30, 10, 20]), [3, 1, 2])
+
+    def test_ties_average(self):
+        assert np.array_equal(rankdata_average([1, 2, 2, 3]), [1, 2.5, 2.5, 4])
+
+    def test_all_tied(self):
+        out = rankdata_average([5, 5, 5])
+        assert np.all(out == 2.0)
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = np.arange(1.0, 11.0)
+        assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        x = np.arange(10.0)
+        assert spearman(x, x[::-1]) == pytest.approx(-1.0)
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_ones(self, rng):
+        m = correlation_matrix(rng.normal(size=(30, 4)))
+        assert np.allclose(np.diag(m), 1.0)
+
+    def test_symmetric(self, rng):
+        m = correlation_matrix(rng.normal(size=(30, 4)))
+        assert np.allclose(m, m.T)
+
+    def test_pairwise_nan_handling(self):
+        data = np.array(
+            [[1.0, 2.0, np.nan], [2.0, 4.0, 1.0], [3.0, 6.0, 2.0], [4.0, 8.0, 3.0]]
+        )
+        m = correlation_matrix(data)
+        assert m[0, 1] == pytest.approx(1.0)
+        assert m[0, 2] == pytest.approx(1.0)  # computed on 3 shared rows
+
+    def test_too_few_shared_rows_gives_nan(self):
+        data = np.array([[1.0, np.nan], [2.0, np.nan], [np.nan, 1.0]])
+        m = correlation_matrix(data)
+        assert math.isnan(m[0, 1])
+
+    def test_spearman_mode(self, rng):
+        x = rng.normal(size=40)
+        data = np.column_stack([x, np.exp(x)])
+        m = correlation_matrix(data, method="spearman")
+        assert m[0, 1] == pytest.approx(1.0)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            correlation_matrix(np.zeros((3, 2)), method="kendall")

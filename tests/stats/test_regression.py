@@ -1,0 +1,68 @@
+"""Tests for repro.stats.regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.regression import linear_fit
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.arange(10.0)
+        fit = linear_fit(x, 3.0 * x - 2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(-2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    @given(
+        slope=st.floats(min_value=-100, max_value=100),
+        intercept=st.floats(min_value=-100, max_value=100),
+    )
+    def test_property_recovers_lines(self, slope, intercept):
+        x = np.linspace(0, 5, 17)
+        fit = linear_fit(x, slope * x + intercept)
+        assert fit.slope == pytest.approx(slope, abs=1e-8)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-7)
+
+    def test_noise_reduces_r2(self, rng):
+        x = np.linspace(0, 10, 200)
+        fit = linear_fit(x, x + rng.normal(0, 5.0, 200))
+        assert fit.r_squared < 1.0
+
+    def test_predict(self):
+        fit = linear_fit([0.0, 1.0], [1.0, 3.0])
+        assert np.allclose(fit.predict([2.0, 3.0]), [5.0, 7.0])
+
+    def test_weights_pull_fit(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 0.0, 10.0])
+        unweighted = linear_fit(x, y)
+        weighted = linear_fit(x, y, weights=[1.0, 1.0, 100.0])
+        # Heavier weight on the last point pulls the line through it.
+        assert abs(weighted.predict(2.0) - 10.0) < abs(unweighted.predict(2.0) - 10.0)
+
+    def test_constant_y(self):
+        fit = linear_fit([0.0, 1.0, 2.0], [5.0, 5.0, 5.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == 1.0
+
+    def test_identical_x_rejected(self):
+        with pytest.raises(ValueError, match="identical"):
+            linear_fit([2.0, 2.0], [1.0, 3.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 2.0], [1.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            linear_fit([0.0, 1.0], [0.0, 1.0], weights=[-1.0, 1.0])
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="not all be zero"):
+            linear_fit([0.0, 1.0], [0.0, 1.0], weights=[0.0, 0.0])
+
+    def test_n_recorded(self):
+        assert linear_fit([0.0, 1.0, 2.0], [0.0, 1.0, 2.0]).n == 3

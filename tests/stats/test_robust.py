@@ -1,0 +1,99 @@
+"""Tests for the robust third-moment estimators (Section 10 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats import octile_skewness, quantile_skewness, trimmed_third_moment
+
+
+class TestQuantileSkewness:
+    def test_symmetric_is_zero(self, rng):
+        x = rng.normal(size=50000)
+        assert quantile_skewness(x) == pytest.approx(0.0, abs=0.02)
+
+    def test_right_skew_positive(self, rng):
+        x = rng.lognormal(0.0, 1.0, 50000)
+        assert quantile_skewness(x) > 0.1
+
+    def test_left_skew_negative(self, rng):
+        x = -rng.lognormal(0.0, 1.0, 50000)
+        assert quantile_skewness(x) < -0.1
+
+    @given(st.floats(min_value=0.05, max_value=0.45))
+    def test_property_bounded(self, p):
+        rng = np.random.default_rng(0)
+        x = rng.lognormal(1.0, 2.0, 500)
+        assert -1.0 <= quantile_skewness(x, p=p) <= 1.0
+
+    def test_location_scale_invariant(self, rng):
+        x = rng.lognormal(0.0, 1.0, 10000)
+        a = quantile_skewness(x)
+        b = quantile_skewness(5.0 * x + 100.0)
+        assert b == pytest.approx(a, abs=1e-9)
+
+    def test_degenerate_sample(self):
+        assert quantile_skewness(np.full(10, 3.0)) == 0.0
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            quantile_skewness([1.0, 2.0, 3.0], p=0.5)
+
+    def test_octile_more_sensitive_than_quartile(self, rng):
+        """The octile variant reaches further into the tail, so it reads
+        more skewness on a heavy-tailed sample."""
+        x = rng.lognormal(0.0, 1.5, 50000)
+        assert octile_skewness(x) > quantile_skewness(x)
+
+
+class TestTrimmedThirdMoment:
+    def test_symmetric_is_zero(self, rng):
+        x = rng.normal(size=50000)
+        assert trimmed_third_moment(x) == pytest.approx(0.0, abs=0.05)
+
+    def test_right_skew_positive(self, rng):
+        x = rng.lognormal(0.0, 1.0, 50000)
+        assert trimmed_third_moment(x) > 0.3
+
+    def test_degenerate(self):
+        assert trimmed_third_moment(np.full(10, 2.0)) == 0.0
+
+    def test_trim_validation(self):
+        with pytest.raises(ValueError):
+            trimmed_third_moment([1.0, 2.0, 3.0], trim=0.6)
+
+
+class TestRobustnessToTail:
+    """The Section 3 experiment at the third moment: removing the 0.1%
+    'taily' jobs wrecks the classical skewness but not the robust ones."""
+
+    @pytest.fixture(scope="class")
+    def runtimes(self):
+        from repro.archive.calibrate import solve_lognormal_marginal
+
+        dist = solve_lognormal_marginal(960.0, 57216.0)  # CTC runtimes
+        return np.sort(dist.sample(100000, seed=0))
+
+    @staticmethod
+    def _classical_skewness(x) -> float:
+        c = x - x.mean()
+        return float(np.mean(c**3) / x.std() ** 3)
+
+    def test_classical_skewness_fragile(self, runtimes):
+        k = int(0.001 * runtimes.size)
+        full = self._classical_skewness(runtimes)
+        trimmed = self._classical_skewness(runtimes[:-k])
+        assert abs(trimmed / full - 1.0) > 0.3  # shifts by tens of percent
+
+    def test_quantile_skewness_stable(self, runtimes):
+        k = int(0.001 * runtimes.size)
+        full = quantile_skewness(runtimes)
+        trimmed = quantile_skewness(runtimes[:-k])
+        assert trimmed == pytest.approx(full, abs=0.01)
+
+    def test_trimmed_moment_stable(self, runtimes):
+        k = int(0.001 * runtimes.size)
+        full = trimmed_third_moment(runtimes, trim=0.01)
+        trimmed = trimmed_third_moment(runtimes[:-k], trim=0.01)
+        assert trimmed == pytest.approx(full, rel=0.1)

@@ -1,0 +1,79 @@
+"""Cross-module integration tests: full pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Coplot,
+    LublinModel,
+    compute_statistics,
+    read_swf,
+    synthesize_workload,
+    write_swf,
+)
+from repro.coplot import procrustes_disparity
+from repro.selfsim import hurst_summary, workload_series
+from repro.workload import split_time_windows
+from repro.workload.variables import observation_matrix
+
+
+class TestSwfThroughPipeline:
+    def test_synthesize_write_read_analyze(self, tmp_path):
+        """A synthesized log survives an SWF round trip with its analysis
+        results intact."""
+        original = synthesize_workload("KTH", n_jobs=3000, seed=4)
+        path = tmp_path / "kth.swf"
+        write_swf(original, path)
+        loaded = read_swf(path)
+
+        a = compute_statistics(original).by_sign()
+        b = compute_statistics(loaded).by_sign()
+        for sign in ("Rm", "Ri", "Pm", "Pi", "Im", "Ii"):
+            assert b[sign] == pytest.approx(a[sign], rel=0.01)
+
+    def test_model_stream_through_swf_and_hurst(self, tmp_path):
+        model_stream = LublinModel().generate(4000, seed=1)
+        path = tmp_path / "lublin.swf"
+        write_swf(model_stream, path)
+        loaded = read_swf(path)
+        series = workload_series(loaded, "run_time")
+        h = np.mean(list(hurst_summary(series).values()))
+        assert 0.3 < h < 0.8  # i.i.d.-ish model: no strong self-similarity
+
+
+class TestCoplotOnComputedStatistics:
+    def test_split_and_map(self):
+        """Section 6 pipeline: split a log, extract stats, Co-plot them."""
+        log = synthesize_workload("SDSC", n_jobs=8000, seed=5)
+        windows = split_time_windows(log, 4)
+        stats = [compute_statistics(w) for w in windows]
+        y, labels = observation_matrix(
+            stats, ["Rm", "Ri", "Pm", "Pi", "Im", "Ii"]
+        )
+        result = Coplot(n_init=4).fit(y, labels=labels)
+        # A stationary synthetic log: windows should not be wild outliers.
+        assert result.alienation < 0.2
+        assert len(result.labels) == 4
+
+    def test_stability_across_mds_transforms(self):
+        """Rank-image and isotonic SMACOF agree on the Figure 1 data up to
+        rotation/reflection."""
+        from repro.experiments.common import FIGURE1_SIGNS, production_matrix
+
+        y, labels = production_matrix(FIGURE1_SIGNS)
+        a = Coplot(transform="rank-image").fit(y, labels=labels)
+        b = Coplot(transform="isotonic").fit(y, labels=labels)
+        assert procrustes_disparity(a.coords, b.coords) < 0.15
+
+
+class TestPublicApi:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

@@ -1,0 +1,68 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_children
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        a = as_generator(seq).random(3)
+        b = as_generator(np.random.SeedSequence(7)).random(3)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            as_generator("not-a-seed")
+
+    def test_numpy_integer_accepted(self):
+        a = as_generator(np.int64(5)).random(3)
+        b = as_generator(5).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(0, 4)) == 4
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_children(0, -1)
+
+    def test_children_independent(self):
+        children = spawn_children(0, 2)
+        a = children[0].random(100)
+        b = children[1].random(100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.3
+
+    def test_deterministic_from_int_seed(self):
+        a = [g.random(3) for g in spawn_children(9, 3)]
+        b = [g.random(3) for g in spawn_children(9, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_from_generator_advances(self):
+        gen = np.random.default_rng(3)
+        first = spawn_children(gen, 1)[0].random(3)
+        second = spawn_children(gen, 1)[0].random(3)
+        assert not np.array_equal(first, second)

@@ -1,0 +1,170 @@
+"""Fault-injection tests for the log-anomaly detectors.
+
+Each test plants one of the Section 1 failure modes into an otherwise
+clean synthesized log and checks that exactly that detector fires.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    Workload,
+    audit_workload,
+    drop_limit_violations,
+    find_dedication_periods,
+    find_downtime_gaps,
+    find_duplicate_records,
+    find_limit_violations,
+)
+from repro.workload.fields import FIELD_NAMES
+
+
+@pytest.fixture(scope="module")
+def clean_log():
+    """A Lublin stream: no load-calibrated gap inflation, so every
+    detector has a genuinely clean baseline.  (Synthesized archive logs
+    deliberately carry huge idle gaps — that is how they hit the published
+    loads — and correctly trip the downtime detector.)"""
+    from repro.models import LublinModel
+
+    return LublinModel(median_interarrival=420.0, n_users=48).generate(4000, seed=21)
+
+
+def with_columns(workload, **overrides):
+    cols = {name: np.array(workload.column(name)) for name in FIELD_NAMES}
+    for name, value in overrides.items():
+        cols[name] = value
+    return Workload(cols, workload.machine, workload.name)
+
+
+class TestCleanBaseline:
+    def test_model_stream_audits_clean(self, clean_log):
+        report = audit_workload(clean_log)
+        assert report.limits.total == 0
+        assert report.duplicates.size == 0
+        assert not report.dedication
+        assert report.summary().startswith("Lublin")
+
+
+class TestLimitViolations:
+    def test_runtime_over_limit_detected(self, clean_log):
+        run = np.array(clean_log.column("run_time"))
+        run[7] = clean_log.duration() * 10  # impossible: longer than the log
+        broken = with_columns(clean_log, run_time=run)
+        v = find_limit_violations(broken)
+        assert 7 in v.runtime_over_limit
+
+    def test_explicit_limit(self, clean_log):
+        v = find_limit_violations(clean_log, runtime_limit=1.0)
+        assert v.runtime_over_limit.size > 3000  # nearly everything flagged
+
+    def test_size_over_machine_detected(self, clean_log):
+        procs = np.array(clean_log.column("used_procs"))
+        procs[3] = clean_log.machine.processors * 2
+        broken = with_columns(clean_log, used_procs=procs)
+        v = find_limit_violations(broken)
+        assert np.array_equal(v.size_over_machine, [3])
+
+    def test_negative_duration_detected(self, clean_log):
+        run = np.array(clean_log.column("run_time"))
+        run[11] = -50.0  # not the -1 "unknown" sentinel: corrupt
+        broken = with_columns(clean_log, run_time=run)
+        v = find_limit_violations(broken)
+        assert np.array_equal(v.negative_duration, [11])
+
+    def test_unknown_sentinel_not_flagged(self, clean_log):
+        run = np.array(clean_log.column("run_time"))
+        run[5] = -1.0
+        broken = with_columns(clean_log, run_time=run)
+        assert find_limit_violations(broken).negative_duration.size == 0
+
+    def test_drop_removes_only_bad(self, clean_log):
+        run = np.array(clean_log.column("run_time"))
+        run[7] = clean_log.duration() * 10
+        broken = with_columns(clean_log, run_time=run)
+        cleaned, removed = drop_limit_violations(broken)
+        assert removed == 1
+        assert len(cleaned) == len(broken) - 1
+
+    def test_drop_noop_on_clean(self, clean_log):
+        cleaned, removed = drop_limit_violations(clean_log)
+        assert removed == 0
+        assert len(cleaned) == len(clean_log)
+
+
+class TestDowntime:
+    def test_planted_gap_detected(self, clean_log):
+        submit = np.array(clean_log.column("submit_time"))
+        # Insert two weeks of silence halfway through.
+        half = len(submit) // 2
+        submit[half:] += 14 * 24 * 3600.0
+        broken = with_columns(clean_log, submit_time=submit)
+        gaps = find_downtime_gaps(broken)
+        assert len(gaps) == 1
+        assert gaps[0].duration >= 14 * 24 * 3600.0
+
+    def test_heavy_tailed_archive_logs_do_trip_the_detector(self):
+        """The synthesized archive logs hit their published loads through
+        inflated idle tails — indistinguishable from downtime, and the
+        detector says so.  (The paper's point exactly: such gaps in real
+        logs are ambiguous between idle spells and undocumented outages.)"""
+        from repro.archive import synthesize_workload
+
+        kth = synthesize_workload("KTH", n_jobs=4000, seed=21)
+        assert len(find_downtime_gaps(kth)) > 0
+
+    def test_clean_log_has_no_gaps(self, clean_log):
+        assert find_downtime_gaps(clean_log) == []
+
+    def test_tiny_log_no_crash(self, clean_log):
+        small = clean_log.filter(np.arange(5))
+        assert find_downtime_gaps(small) == []
+
+
+class TestDedication:
+    def test_planted_dedication_detected(self, clean_log):
+        users = np.array(clean_log.column("user_id"))
+        submit = clean_log.column("submit_time")
+        # Dedicate the first week to user 999.
+        week = submit < submit.min() + 7 * 24 * 3600.0
+        users[week] = 999
+        broken = with_columns(clean_log, user_id=users)
+        periods = find_dedication_periods(broken)
+        assert periods
+        assert periods[0].user_id == 999
+        assert periods[0].share > 0.9
+
+    def test_clean_log_not_dedicated(self, clean_log):
+        assert find_dedication_periods(clean_log) == []
+
+    def test_threshold_respected(self, clean_log):
+        # With a 0-threshold, someone always "dominates" each window.
+        periods = find_dedication_periods(clean_log, share_threshold=0.0)
+        assert periods
+
+
+class TestDuplicates:
+    def test_planted_duplicate_detected(self, clean_log):
+        cols = {name: np.array(clean_log.column(name)) for name in FIELD_NAMES}
+        for name in cols:
+            cols[name] = np.concatenate([cols[name], cols[name][100:101]])
+        broken = Workload(cols, clean_log.machine, clean_log.name)
+        dupes = find_duplicate_records(broken)
+        assert dupes.size == 1
+        assert dupes[0] == len(clean_log)
+
+    def test_clean_log_no_duplicates(self, clean_log):
+        assert find_duplicate_records(clean_log).size == 0
+
+
+class TestAuditBundle:
+    def test_dirty_log_fails_audit(self, clean_log):
+        run = np.array(clean_log.column("run_time"))
+        run[7] = clean_log.duration() * 10
+        broken = with_columns(clean_log, run_time=run)
+        report = audit_workload(broken)
+        assert not report.is_clean
+        assert "1 limit violation" in report.summary()
+
+    def test_clean_flag(self, clean_log):
+        assert audit_workload(clean_log).is_clean

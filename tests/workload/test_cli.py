@@ -1,0 +1,36 @@
+"""Tests for the workload-analysis CLI (python -m repro.workload)."""
+
+import pytest
+
+from repro.workload.__main__ import main
+
+
+class TestWorkloadCli:
+    def test_archive_name(self, capsys):
+        assert main(["KTH", "--jobs", "3000", "--no-homogeneity", "--no-selfsim"]) == 0
+        out = capsys.readouterr().out
+        assert "KTH" in out and "Rm" in out and "Ii" in out
+
+    def test_swf_file(self, small_workload, tmp_path, capsys):
+        from repro.workload import write_swf
+
+        path = tmp_path / "trace.swf"
+        write_swf(small_workload, path)
+        assert main([str(path), "--no-homogeneity", "--no-selfsim"]) == 0
+        assert "500 jobs" in capsys.readouterr().out
+
+    def test_homogeneity_section(self, capsys):
+        assert main(["SDSC", "--jobs", "4000", "--windows", "3", "--no-selfsim"]) == 0
+        out = capsys.readouterr().out
+        assert "Homogeneity audit" in out
+        assert "SDSC-P1" in out and "SDSC-P3" in out
+
+    def test_selfsim_section(self, capsys):
+        assert main(["LANLi", "--jobs", "4000", "--no-homogeneity"]) == 0
+        out = capsys.readouterr().out
+        assert "Self-similarity audit" in out
+        assert "interarrival" in out
+
+    def test_missing_file_errors(self):
+        with pytest.raises(FileNotFoundError):
+            main(["/nonexistent/trace.swf"])

@@ -1,0 +1,121 @@
+"""Tests for the SWF reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    MachineInfo,
+    Workload,
+    parse_swf_text,
+    read_swf,
+    render_swf_text,
+    write_swf,
+)
+from repro.workload.fields import MISSING, SWF_FIELDS
+
+SAMPLE = """\
+; Computer: Test SP2
+; MaxProcs: 128
+; Note: tiny sample
+1 0 5 100 4 90.0 -1 4 120 -1 1 3 1 7 1 -1 -1 -1
+2 60 0 200.5 8 -1 -1 8 -1 -1 0 4 1 8 1 -1 -1 -1
+"""
+
+
+class TestParse:
+    def test_header_parsed(self):
+        w = parse_swf_text(SAMPLE)
+        assert w.machine.name == "Test SP2"
+        assert w.machine.processors == 128
+        assert w.machine.description == "tiny sample"
+
+    def test_jobs_parsed(self):
+        w = parse_swf_text(SAMPLE)
+        assert len(w) == 2
+        assert np.array_equal(w.column("used_procs"), [4, 8])
+        assert w.column("run_time")[1] == pytest.approx(200.5)
+
+    def test_missing_values_kept(self):
+        w = parse_swf_text(SAMPLE)
+        assert w.column("used_memory")[0] == MISSING
+
+    def test_short_lines_padded(self):
+        w = parse_swf_text("1 0 5 100 4\n")
+        assert len(w) == 1
+        assert w.column("status")[0] == MISSING
+
+    def test_too_many_fields_rejected(self):
+        line = " ".join(["1"] * 19)
+        with pytest.raises(ValueError, match="19 fields"):
+            parse_swf_text(line)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_swf_text("1 0 abc\n")
+
+    def test_blank_lines_skipped(self):
+        w = parse_swf_text("\n\n1 0 5 100 4\n\n")
+        assert len(w) == 1
+
+    def test_empty_log(self):
+        w = parse_swf_text("; MaxProcs: 10\n")
+        assert len(w) == 0
+        assert w.machine.processors == 10
+
+    def test_procs_inferred_without_header(self):
+        w = parse_swf_text("1 0 0 10 32\n2 5 0 10 64\n")
+        assert w.machine.processors == 64
+
+    def test_explicit_machine_overrides(self):
+        m = MachineInfo("forced", 999)
+        w = parse_swf_text(SAMPLE, machine=m)
+        assert w.machine.processors == 999
+
+    def test_name_defaults_to_computer_header(self):
+        w = parse_swf_text(SAMPLE)
+        assert w.name == "Test SP2"
+
+    def test_explicit_name(self):
+        w = parse_swf_text(SAMPLE, name="mylog")
+        assert w.name == "mylog"
+
+
+class TestRoundTrip:
+    def test_render_and_parse(self, small_workload):
+        text = render_swf_text(small_workload)
+        back = parse_swf_text(text)
+        assert len(back) == len(small_workload)
+        assert back.machine.processors == small_workload.machine.processors
+        # Floats are rendered with 2 decimals; integers exactly.
+        assert np.array_equal(back.column("used_procs"), small_workload.column("used_procs"))
+        assert np.allclose(
+            back.column("run_time"), np.round(small_workload.column("run_time"), 2)
+        )
+
+    def test_missing_survives_roundtrip(self, small_machine):
+        w = Workload.from_arrays(machine=small_machine, submit_time=[0.0], run_time=[5.0])
+        back = parse_swf_text(render_swf_text(w))
+        assert back.column("used_procs")[0] == MISSING
+
+    def test_headers_in_output(self, small_workload):
+        text = render_swf_text(small_workload, headers={"Custom": "value"})
+        assert "; Custom: value" in text
+        assert f"; MaxJobs: {len(small_workload)}" in text
+
+    def test_file_io(self, small_workload, tmp_path):
+        path = tmp_path / "log.swf"
+        write_swf(small_workload, path)
+        back = read_swf(path)
+        assert len(back) == len(small_workload)
+
+    def test_stream_io(self, small_workload):
+        buf = io.StringIO()
+        write_swf(small_workload, buf)
+        back = read_swf(io.StringIO(buf.getvalue()))
+        assert len(back) == len(small_workload)
+
+    def test_field_count_is_18(self, small_workload):
+        line = render_swf_text(small_workload).splitlines()[-1]
+        assert len(line.split()) == len(SWF_FIELDS) == 18

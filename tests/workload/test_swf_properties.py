@@ -1,0 +1,67 @@
+"""Property-based SWF round-trip tests with hypothesis-generated workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import MachineInfo, Workload, parse_swf_text, render_swf_text
+from repro.workload.fields import FIELD_NAMES, MISSING
+
+
+@st.composite
+def workloads(draw):
+    """Random small workloads with a mix of known and missing fields."""
+    n = draw(st.integers(min_value=1, max_value=30))
+    procs = draw(st.integers(min_value=2, max_value=512))
+    machine = MachineInfo("hyp", procs)
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    submit = np.round(np.sort(rng.uniform(0, 1e6, n)), 2)
+    run = np.round(rng.uniform(0, 1e5, n), 2)
+    sizes = rng.integers(1, procs + 1, n)
+    # Randomly knock out some fields to the missing sentinel.
+    if draw(st.booleans()):
+        run[rng.random(n) < 0.3] = MISSING
+    return Workload.from_arrays(
+        machine=machine,
+        submit_time=submit,
+        run_time=run,
+        used_procs=sizes,
+        user_id=rng.integers(0, 20, n),
+        status=rng.choice([0, 1, 5], n),
+    )
+
+
+class TestSwfRoundTripProperties:
+    @given(workloads())
+    @settings(max_examples=30)
+    def test_roundtrip_preserves_everything(self, workload):
+        back = parse_swf_text(render_swf_text(workload))
+        assert len(back) == len(workload)
+        assert back.machine.processors == workload.machine.processors
+        for name in FIELD_NAMES:
+            original = workload.column(name)
+            restored = back.column(name)
+            # Floats render at 2 decimals; ints exactly.
+            assert np.allclose(restored, np.round(original.astype(float), 2)), name
+
+    @given(workloads())
+    @settings(max_examples=30)
+    def test_double_roundtrip_is_identity(self, workload):
+        once = render_swf_text(workload)
+        twice = render_swf_text(parse_swf_text(once))
+        assert once.splitlines()[3:] == twice.splitlines()[3:]  # job lines equal
+
+    @given(workloads())
+    @settings(max_examples=20)
+    def test_statistics_survive_roundtrip(self, workload):
+        from repro.workload import compute_statistics
+
+        a = compute_statistics(workload)
+        b = compute_statistics(parse_swf_text(render_swf_text(workload)))
+        for attr in ("procs_median", "procs_interval"):
+            va, vb = getattr(a, attr), getattr(b, attr)
+            if np.isnan(va):
+                assert np.isnan(vb)
+            else:
+                assert vb == pytest.approx(va, abs=0.01)

@@ -1,0 +1,95 @@
+"""Tests for the variable registry and matrix assembly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workload import compute_statistics
+from repro.workload.variables import (
+    MODEL_COMPARABLE_SIGNS,
+    VARIABLES,
+    observation_matrix,
+    observation_vector,
+    variable,
+)
+
+
+class TestRegistry:
+    def test_all_18_variables(self):
+        assert len(VARIABLES) == 18
+
+    def test_signs_match_paper(self):
+        assert set(VARIABLES) == {
+            "MP", "SF", "AL", "RL", "CL", "E", "U", "C",
+            "Rm", "Ri", "Pm", "Pi", "Nm", "Ni", "Cm", "Ci", "Im", "Ii",
+        }
+
+    def test_lookup(self):
+        assert variable("Rm").name == "runtime_median"
+
+    def test_unknown_sign(self):
+        with pytest.raises(KeyError, match="unknown variable"):
+            variable("ZZ")
+
+    def test_model_comparable_set(self):
+        assert len(MODEL_COMPARABLE_SIGNS) == 8
+        assert "RL" not in MODEL_COMPARABLE_SIGNS
+
+
+class TestObservationVector:
+    def test_from_statistics(self, small_workload):
+        stats = compute_statistics(small_workload)
+        vec = observation_vector(stats, ["Rm", "Pm"])
+        assert vec[0] == stats.runtime_median
+        assert vec[1] == stats.procs_median
+
+    def test_from_mapping_by_sign(self):
+        vec = observation_vector({"Rm": 5.0, "Pm": 2.0}, ["Rm", "Pm"])
+        assert np.array_equal(vec, [5.0, 2.0])
+
+    def test_from_mapping_by_full_name(self):
+        vec = observation_vector({"runtime_median": 5.0}, ["Rm"])
+        assert vec[0] == 5.0
+
+    def test_none_becomes_nan(self):
+        vec = observation_vector({"Rm": None}, ["Rm"])
+        assert math.isnan(vec[0])
+
+    def test_absent_becomes_nan(self):
+        vec = observation_vector({}, ["Rm"])
+        assert math.isnan(vec[0])
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(KeyError):
+            observation_vector({"Rm": 1.0}, ["XX"])
+
+
+class TestObservationMatrix:
+    def test_shape_and_labels(self):
+        rows = [{"name": "a", "Rm": 1.0}, {"name": "b", "Rm": 2.0}]
+        mat, labels = observation_matrix(rows, ["Rm"])
+        assert mat.shape == (2, 1)
+        assert labels == ["a", "b"]
+
+    def test_default_labels(self):
+        mat, labels = observation_matrix([{"Rm": 1.0}], ["Rm"])
+        assert labels == ["obs0"]
+
+    def test_statistics_labels(self, small_workload):
+        stats = compute_statistics(small_workload)
+        _, labels = observation_matrix([stats], ["Rm"])
+        assert labels == ["small"]
+
+    def test_explicit_labels(self):
+        _, labels = observation_matrix([{"Rm": 1.0}], ["Rm"], labels=["X"])
+        assert labels == ["X"]
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            observation_matrix([{"Rm": 1.0}], ["Rm"], labels=["a", "b"])
+
+    def test_empty_observations(self):
+        mat, labels = observation_matrix([], ["Rm", "Pm"])
+        assert mat.shape == (0, 2)
+        assert labels == []
