@@ -1,8 +1,9 @@
 # Convenience targets for the repro repository.
 
 PYTHON ?= python
+JOBS ?= 4
 
-.PHONY: install test bench experiments quick results archive clean
+.PHONY: install test bench experiments experiments-quick quick results archive clean
 
 install:
 	pip install -e .[test]
@@ -14,10 +15,16 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 experiments:
-	$(PYTHON) -m repro.experiments --out results --report results/SCORECARD.md
+	$(PYTHON) -m repro.experiments --jobs $(JOBS) --out results --report results/SCORECARD.md
+
+# Parallel quick run with scorecard; exits nonzero on claim misses or
+# experiment failures (the CI gate).
+experiments-quick:
+	$(PYTHON) -m repro.experiments --quick --jobs $(JOBS) \
+		--report results/SCORECARD-quick.md --trace results/trace-quick.jsonl
 
 quick:
-	$(PYTHON) -m repro.experiments --quick
+	$(PYTHON) -m repro.experiments --quick --jobs $(JOBS)
 
 # Materialize the synthesized workloads archive as .swf.gz files.
 archive:

@@ -1,0 +1,59 @@
+"""Benchmarks of the runtime engine: cold vs. warm cache, serial vs. parallel.
+
+The headline number is the cache speedup: a second ``repro-experiments``
+invocation with unchanged inputs must be at least 5x faster than the
+cold run that populated the cache (in practice it is 10-50x — a warm
+run is a fingerprint walk plus one JSON read per experiment).
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.runner import main
+
+pytestmark = pytest.mark.benchmark(group="runtime")
+
+#: Experiments heavy enough to dominate engine overhead, light enough to bench.
+_SUBSET = ["figure1", "stability"]
+
+
+def _argv(tmp_path, *extra):
+    return [
+        *_SUBSET,
+        "--quick",
+        "--cache-dir",
+        str(tmp_path / "cache"),
+        *extra,
+    ]
+
+
+class TestResultCache:
+    def test_bench_warm_run_at_least_5x_faster_than_cold(
+        self, benchmark, tmp_path, capsys
+    ):
+        argv = _argv(tmp_path)
+        start = time.perf_counter()
+        assert main(argv) == 0
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        assert benchmark.pedantic(main, args=(argv,), rounds=1, iterations=1) == 0
+        warm_s = time.perf_counter() - start
+        capsys.readouterr()
+
+        benchmark.extra_info["cold_s"] = round(cold_s, 3)
+        benchmark.extra_info["warm_s"] = round(warm_s, 3)
+        benchmark.extra_info["speedup"] = round(cold_s / warm_s, 1)
+        assert cold_s / warm_s >= 5.0, (
+            f"cache speedup only {cold_s / warm_s:.1f}x (cold {cold_s:.2f}s, warm {warm_s:.2f}s)"
+        )
+
+
+class TestParallelRun:
+    def test_bench_quick_subset_with_jobs_4(self, run_once, tmp_path, capsys):
+        """Record the cold parallel wall time (no speedup assertion: worker
+        contention on small CI boxes makes one unreliable)."""
+        argv = _argv(tmp_path, "--no-cache", "--jobs", "4")
+        assert run_once(main, argv) == 0
+        capsys.readouterr()

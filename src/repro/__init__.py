@@ -21,6 +21,9 @@ Subpackages
     embedded verbatim plus a calibrated log synthesizer.
 ``repro.stats``
     Distributions and statistics substrate.
+``repro.runtime``
+    Experiment engine: parallel DAG executor with timeouts/retries, a
+    content-addressed result cache, structured JSONL telemetry.
 ``repro.experiments``
     One module per table/figure; ``python -m repro.experiments`` runs all.
 

@@ -25,6 +25,13 @@ stability Extension — bootstrap stability of the Figure 1 findings
 ========  ==================================================================
 """
 
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentSpec,
+    build_kwargs,
+    execute_experiment,
+    validate_registry,
+)
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.figure1 import Figure1Result, run_figure1
 from repro.experiments.figure2 import Figure2Result, run_figure2
@@ -39,24 +46,18 @@ from repro.experiments.parametric_model import ParametricModelResult, run_parame
 from repro.experiments.scheduling import SchedulingResult, run_scheduling
 from repro.experiments.stability import StabilityResult, run_stability
 
-EXPERIMENTS = {
-    "table1": run_table1,
-    "figure1": run_figure1,
-    "figure2": run_figure2,
-    "table2": run_table2,
-    "figure3": run_figure3,
-    "figure4": run_figure4,
-    "param": run_parameterization,
-    "load": run_load_alteration,
-    "table3": run_table3,
-    "figure5": run_figure5,
-    "paramodel": run_parametric_model,
-    "scheduling": run_scheduling,
-    "stability": run_stability,
-}
+#: Back-compat view of the registry: experiment id -> run function.  The
+#: authoritative entries (seeding, quick-mode overrides, timeouts) live in
+#: :data:`repro.experiments.registry.REGISTRY`.
+EXPERIMENTS = {exp_id: spec.run for exp_id, spec in REGISTRY.items()}
 
 __all__ = [
     "EXPERIMENTS",
+    "REGISTRY",
+    "ExperimentSpec",
+    "build_kwargs",
+    "execute_experiment",
+    "validate_registry",
     "run_table1",
     "run_figure1",
     "run_figure2",

@@ -1,9 +1,22 @@
 """Command-line entry point: ``python -m repro.experiments [ids...]``.
 
-Runs the requested experiments (all of them by default) and prints each
-report.  ``--list`` shows the experiment ids, ``--quick`` lowers job
-counts for a fast smoke run, and ``--out DIR`` additionally writes each
-report (plus CSV/SVG exports of every Co-plot map) into a directory.
+Runs the requested experiments (all of them by default) on top of the
+:mod:`repro.runtime` engine and prints each report.  Highlights:
+
+* ``--jobs N`` fans experiments out across worker processes; ``--jobs 1``
+  (the default) runs inline and serially.
+* Results are memoized in a content-addressed cache keyed on the
+  experiment id, its kwargs (seed included) and a fingerprint of the
+  ``repro`` source tree — re-runs with unchanged inputs are near-instant.
+  ``--no-cache`` forces recomputation.
+* ``--trace FILE`` writes structured JSONL telemetry (one span per task
+  with wall time, cache hit/miss, retries, peak RSS) and prints a digest.
+* ``--out DIR`` writes reports/CSV/SVG into a per-run stamped
+  subdirectory (``DIR/run-<UTC>-seed<seed>[...]``) with a ``DIR/latest``
+  symlink, so successive runs never overwrite each other.
+* One failed experiment no longer aborts the batch: the failure is
+  reported, the rest complete, and the exit code is nonzero (1).  Claim
+  misses exit 2 unless ``--no-fail-on-miss`` is given.
 """
 
 from __future__ import annotations
@@ -12,41 +25,61 @@ import argparse
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.experiments import EXPERIMENTS
+from repro.experiments.registry import REGISTRY, build_kwargs, execute_experiment
+from repro.runtime import DagExecutor, ResultCache, TaskSpec, Telemetry
 
 __all__ = ["main"]
 
-#: Per-experiment quick-mode overrides (smaller inputs, same claims).
-_QUICK_KWARGS = {
-    "table1": {"n_jobs": 4000},
-    "table2": {"n_jobs": 4000},
-    "figure4": {"n_jobs": 4000},
-    "load": {"n_jobs": 4000},
-    "table3": {"n_jobs": 6000},
-    "figure5": {"n_jobs": 6000},
-    "paramodel": {"n_jobs": 4000},
-    "scheduling": {"n_jobs": 2000},
-    "stability": {"n_boot": 15},
-}
+#: Exit codes: experiment exceptions/timeouts beat claim misses.
+EXIT_OK = 0
+EXIT_TASK_FAILURE = 1
+EXIT_CLAIM_MISS = 2
 
-#: Experiments that accept a master seed.
-_SEEDED = set(_QUICK_KWARGS)
+_DEFAULT_CACHE_DIR = os.path.join("results", "cache")
 
 
-def _write_outputs(out_dir: str, exp_id: str, result) -> None:
-    from repro.coplot.render import coplot_to_csv, coplot_to_svg
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
 
+
+def _run_dir_name(*, seed: int, quick: bool) -> str:
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    return f"run-{stamp}-seed{seed}" + ("-quick" if quick else "")
+
+
+def _prepare_run_dir(out_dir: str, *, seed: int, quick: bool) -> str:
+    """Create a fresh per-run subdirectory and point ``latest`` at it."""
     os.makedirs(out_dir, exist_ok=True)
-    with open(os.path.join(out_dir, f"{exp_id}.txt"), "w", encoding="utf-8") as fh:
-        fh.write(result.render() + "\n")
-    coplot = getattr(result, "coplot", None)
-    if coplot is not None:
-        with open(os.path.join(out_dir, f"{exp_id}.csv"), "w", encoding="utf-8") as fh:
-            fh.write(coplot_to_csv(coplot))
-        with open(os.path.join(out_dir, f"{exp_id}.svg"), "w", encoding="utf-8") as fh:
-            fh.write(coplot_to_svg(coplot))
+    name = _run_dir_name(seed=seed, quick=quick)
+    run_dir = os.path.join(out_dir, name)
+    suffix = 1
+    while os.path.exists(run_dir):  # same-second rerun: never clobber
+        suffix += 1
+        run_dir = os.path.join(out_dir, f"{name}.{suffix}")
+    os.makedirs(run_dir)
+    link = os.path.join(out_dir, "latest")
+    try:
+        if os.path.islink(link) or os.path.exists(link):
+            os.remove(link)
+        os.symlink(os.path.basename(run_dir), link, target_is_directory=True)
+    except OSError:  # filesystems without symlink support
+        with open(os.path.join(out_dir, "LATEST"), "w", encoding="utf-8") as fh:
+            fh.write(os.path.basename(run_dir) + "\n")
+    return run_dir
+
+
+def _write_outputs(run_dir: str, exp_id: str, payload: Dict[str, Any]) -> None:
+    with open(os.path.join(run_dir, f"{exp_id}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(payload["report"] + "\n")
+    artifacts = payload.get("artifacts") or {}
+    for ext in ("csv", "svg"):
+        if ext in artifacts:
+            with open(os.path.join(run_dir, f"{exp_id}.{ext}"), "w", encoding="utf-8") as fh:
+                fh.write(artifacts[ext])
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -66,6 +99,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed (default 0)")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial, inline)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute everything, ignoring (but refreshing) the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=_DEFAULT_CACHE_DIR,
+        help=f"result cache location (default {_DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write structured JSONL telemetry (spans/events/metrics) to FILE",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment attempt timeout (default: none)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retries per experiment after a failure (default 0)",
+    )
+    parser.add_argument(
+        "--fail-on-miss",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="exit nonzero when a paper claim does not hold (default: on)",
+    )
+    parser.add_argument(
         "--out", metavar="DIR", default=None, help="also write reports/CSV/SVG into DIR"
     )
     parser.add_argument(
@@ -77,45 +154,127 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        for exp_id in EXPERIMENTS:
+        for exp_id in REGISTRY:
             print(exp_id)
-        return 0
+        return EXIT_OK
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    ids = args.ids or list(EXPERIMENTS)
-    unknown = [i for i in ids if i not in EXPERIMENTS]
+    ids = args.ids or list(REGISTRY)
+    unknown = [i for i in ids if i not in REGISTRY]
     if unknown:
         parser.error(
-            f"unknown experiment(s): {', '.join(unknown)}; known: {', '.join(EXPERIMENTS)}"
+            f"unknown experiment(s): {', '.join(unknown)}; known: {', '.join(REGISTRY)}"
         )
 
-    failures = 0
+    telemetry = Telemetry()
+    per_exp_kwargs = {
+        exp_id: build_kwargs(REGISTRY[exp_id], seed=args.seed, quick=args.quick)
+        for exp_id in ids
+    }
+
+    cache = ResultCache(args.cache_dir)
+    keys = {exp_id: cache.key(exp_id, per_exp_kwargs[exp_id]) for exp_id in ids}
+    payloads: Dict[str, Dict[str, Any]] = {}
+    if not args.no_cache:
+        for exp_id in ids:
+            hit = cache.get(keys[exp_id])
+            if hit is not None:
+                payloads[exp_id] = hit
+
+    misses = [exp_id for exp_id in ids if exp_id not in payloads]
+    tasks = [
+        TaskSpec(
+            id=exp_id,
+            fn=execute_experiment,
+            kwargs={"exp_id": exp_id, "kwargs": per_exp_kwargs[exp_id]},
+            timeout=args.timeout if args.timeout is not None else REGISTRY[exp_id].timeout_s,
+            retries=args.retries,
+        )
+        for exp_id in misses
+    ]
+    executor = DagExecutor(jobs=args.jobs, telemetry=telemetry)
+    results = executor.run(tasks)
+    for exp_id in misses:
+        result = results[exp_id]
+        if result.ok:
+            payloads[exp_id] = result.value
+            cache.put(
+                keys[exp_id],
+                result.value,
+                meta={"seed": args.seed, "quick": args.quick, "wall_s": result.wall_s},
+            )
+
+    run_dir = _prepare_run_dir(args.out, seed=args.seed, quick=args.quick) if args.out else None
+    task_failures = 0
+    claim_misses = 0
     scorecard = []
     for exp_id in ids:
-        run = EXPERIMENTS[exp_id]
-        kwargs = {}
-        if exp_id in _SEEDED:
-            kwargs["seed"] = args.seed
-            if args.quick:
-                kwargs.update(_QUICK_KWARGS[exp_id])
-        start = time.perf_counter()
-        result = run(**kwargs)
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
-        claims = getattr(result, "claims", None)
-        if callable(claims):
-            claims = claims()
+        payload = payloads.get(exp_id)
+        if payload is None:
+            result = results[exp_id]
+            task_failures += 1
+            telemetry.span(
+                exp_id,
+                status=result.status.value,
+                wall_s=result.wall_s,
+                cache_hit=False,
+                retries=max(0, result.attempts - 1),
+                peak_rss_kb=result.peak_rss_kb,
+            )
+            print(f"=== {exp_id}: {result.status.value.upper()} ===")
+            print(f"[{exp_id} {result.status.value}: {result.error}]\n")
+            continue
+        cached = exp_id not in results
+        result = None if cached else results[exp_id]
+        wall = 0.0 if cached else result.wall_s
+        telemetry.span(
+            exp_id,
+            status="ok",
+            wall_s=wall,
+            cache_hit=cached,
+            retries=0 if cached else max(0, result.attempts - 1),
+            peak_rss_kb=None if cached else result.peak_rss_kb,
+            compute_s=payload.get("compute_s"),
+        )
+        print(payload["report"])
+        if cached:
+            print(f"[{exp_id} cached; originally computed in {payload.get('compute_s', 0):.1f}s]\n")
+        else:
+            print(f"[{exp_id} finished in {wall:.1f}s]\n")
+        claims = payload.get("claims") or []
         if claims:
-            failures += sum(0 if c.holds else 1 for c in claims)
-            scorecard.append((exp_id, elapsed, claims))
-        if args.out:
-            _write_outputs(args.out, exp_id, result)
+            claim_misses += sum(0 if c["holds"] else 1 for c in claims)
+            scorecard.append((exp_id, wall, claims))
+        if run_dir:
+            _write_outputs(run_dir, exp_id, payload)
+
+    hits = sum(1 for exp_id in ids if exp_id in payloads and exp_id not in results)
+    telemetry.metric("cache_hits", hits)
+    telemetry.metric("cache_misses", len(ids) - hits)
+    telemetry.metric("task_failures", task_failures)
+    telemetry.metric("claim_misses", claim_misses)
+
+    if run_dir:
+        print(f"Outputs written to {run_dir}")
     if args.report:
+        _ensure_parent(args.report)
         _write_scorecard(args.report, scorecard, seed=args.seed, quick=args.quick)
         print(f"Scorecard written to {args.report}")
-    if failures:
-        print(f"{failures} claim(s) did not hold; see [MISS] lines above.")
-    return 0
+    if args.trace:
+        _ensure_parent(args.trace)
+        telemetry.write(args.trace)
+        print(telemetry.summary())
+        print(f"Trace written to {args.trace}")
+
+    if task_failures:
+        print(f"{task_failures} experiment(s) failed; see the lines above.")
+        return EXIT_TASK_FAILURE
+    if claim_misses:
+        print(f"{claim_misses} claim(s) did not hold; see [MISS] lines above.")
+        if args.fail_on_miss:
+            return EXIT_CLAIM_MISS
+    return EXIT_OK
 
 
 def _write_scorecard(path: str, scorecard, *, seed: int, quick: bool) -> None:
@@ -129,13 +288,13 @@ def _write_scorecard(path: str, scorecard, *, seed: int, quick: bool) -> None:
         "|---|---|---|---|---|",
     ]
     total = held = 0
-    for exp_id, elapsed, claims in scorecard:
+    for exp_id, _elapsed, claims in scorecard:
         for claim in claims:
             total += 1
-            held += claim.holds
+            held += claim["holds"]
             lines.append(
-                f"| {exp_id} | {claim.description} | {claim.paper} | "
-                f"{claim.measured} | {'yes' if claim.holds else 'NO'} |"
+                f"| {exp_id} | {claim['description']} | {claim['paper']} | "
+                f"{claim['measured']} | {'yes' if claim['holds'] else 'NO'} |"
             )
     lines.append("")
     lines.append(f"**{held}/{total} claims hold.**")

@@ -1,0 +1,38 @@
+"""Experiment runtime: parallel DAG executor, result cache, telemetry.
+
+The runtime layer is what lets ``python -m repro.experiments`` scale
+past a serial for-loop while staying byte-for-byte reproducible:
+
+* :mod:`repro.runtime.task` / :mod:`repro.runtime.executor` — tasks as
+  a dependency DAG over a ``ProcessPoolExecutor``, with per-task
+  timeouts, bounded jittered retries and graceful degradation (a failed
+  experiment is reported, the rest of the batch completes);
+* :mod:`repro.runtime.cache` / :mod:`repro.runtime.fingerprint` — a
+  content-addressed result cache keyed on ``(experiment id, kwargs,
+  code fingerprint)`` so unchanged re-runs are near-instant;
+* :mod:`repro.runtime.telemetry` — structured JSONL spans/metrics
+  (wall time, cache hit/miss, retries, peak RSS) behind ``--trace``.
+
+The layer is deliberately generic: it knows nothing about Co-plots or
+workload models, only picklable callables — see docs/RUNTIME.md.
+"""
+
+from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.executor import DagExecutor
+from repro.runtime.fingerprint import code_fingerprint, tree_fingerprint
+from repro.runtime.task import TaskResult, TaskSpec, TaskStatus, toposort
+from repro.runtime.telemetry import Telemetry, summarize
+
+__all__ = [
+    "DagExecutor",
+    "ResultCache",
+    "TaskResult",
+    "TaskSpec",
+    "TaskStatus",
+    "Telemetry",
+    "cache_key",
+    "code_fingerprint",
+    "summarize",
+    "toposort",
+    "tree_fingerprint",
+]

@@ -1,0 +1,102 @@
+"""Content-addressed result cache for experiment payloads.
+
+Keys are SHA-256 digests over the canonical JSON encoding of
+``(cache version, experiment id, kwargs, code fingerprint)`` — the seed
+rides along inside ``kwargs``, and the fingerprint (see
+:mod:`repro.runtime.fingerprint`) ties every entry to the exact source
+tree that produced it.  Values are JSON documents holding the rendered
+report, the claim checklist and any CSV/SVG artifacts, stored under
+``<root>/<key[:2]>/<key>.json`` so re-runs with unchanged inputs are a
+single file read.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or killed
+run can never leave a half-written entry behind, and :meth:`get`
+treats unreadable/corrupt entries as misses rather than failing a run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+from repro.runtime.fingerprint import code_fingerprint
+
+__all__ = ["ResultCache", "cache_key"]
+
+#: Bump to orphan every existing entry when the payload layout changes.
+CACHE_VERSION = 1
+
+
+def cache_key(experiment: str, kwargs: Mapping[str, Any], fingerprint: str) -> str:
+    """Deterministic content address for one experiment invocation."""
+    doc = {
+        "version": CACHE_VERSION,
+        "experiment": experiment,
+        "kwargs": dict(kwargs),
+        "fingerprint": fingerprint,
+    }
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """File-backed content-addressed store of experiment payloads."""
+
+    def __init__(self, root: str, *, fingerprint: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+
+    def key(self, experiment: str, kwargs: Mapping[str, Any]) -> str:
+        return cache_key(experiment, kwargs, self.fingerprint)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for *key*, or ``None`` (corrupt = miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if entry.get("version") != CACHE_VERSION:
+            return None
+        return entry.get("payload")
+
+    def put(
+        self,
+        key: str,
+        payload: Dict[str, Any],
+        *,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Atomically persist *payload* under *key*; returns the entry path."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "fingerprint": self.fingerprint,
+            "meta": dict(meta or {}),
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True, default=str)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None

@@ -1,0 +1,281 @@
+"""DAG task executor with process parallelism, timeouts and retries.
+
+:class:`DagExecutor` runs a set of :class:`~repro.runtime.task.TaskSpec`
+objects respecting their dependency edges.  With ``jobs == 1`` tasks run
+inline in the current process (no pickling, no subprocess overhead —
+the mode the serial CLI default uses); with ``jobs >= 2`` tasks fan out
+over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Failure semantics (both modes):
+
+* an attempt that raises is retried up to ``task.retries`` times with
+  exponential backoff and deterministic per-task jitter;
+* a task whose attempts are exhausted is reported ``failed`` — the rest
+  of the batch still completes (graceful degradation);
+* tasks downstream of a failure are reported ``skipped``;
+* a task attempt exceeding ``task.timeout`` seconds is a ``timeout``.
+  In process mode the worker is killed and the pool rebuilt (in-flight
+  survivors are resubmitted without consuming a retry); inline mode
+  cannot preempt, so the attempt is detected as late *after* it returns
+  and its value is discarded.
+
+The executor never raises on task failure; inspect the returned
+``TaskResult`` map instead.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.task import TaskResult, TaskSpec, TaskStatus, toposort
+from repro.runtime.telemetry import Telemetry
+
+__all__ = ["DagExecutor"]
+
+#: Seconds the event loop waits on in-flight futures per tick.
+_TICK_S = 0.05
+
+
+def _peak_rss_kb() -> Optional[int]:
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-POSIX fallback
+        return None
+
+
+def _run_attempt(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> Tuple[Any, float, Optional[int]]:
+    """Worker-side wrapper: run one attempt, report wall time and peak RSS."""
+    start = time.perf_counter()
+    value = fn(**kwargs)
+    return value, time.perf_counter() - start, _peak_rss_kb()
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard, terminating any still-running workers."""
+    procs = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - process already gone
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+
+
+class DagExecutor:
+    """Run a task DAG with bounded parallelism, retries and timeouts."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        telemetry: Optional[Telemetry] = None,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 8.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.telemetry = telemetry
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._sleep = sleep
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, tasks: Sequence[TaskSpec]) -> Dict[str, TaskResult]:
+        """Execute *tasks*; one :class:`TaskResult` per spec, never raises
+        on task failure."""
+        ordered = toposort(tasks)
+        if not ordered:
+            return {}
+        if self.jobs == 1:
+            return self._run_serial(ordered)
+        return self._run_pool(ordered)
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _backoff_delay(self, task: TaskSpec, attempt: int) -> float:
+        """Exponential backoff with deterministic per-(task, attempt) jitter."""
+        base = min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
+        jitter = random.Random(f"{task.id}:{attempt}").uniform(0.5, 1.5)
+        return base * jitter
+
+    def _event(self, kind: str, **fields: Any) -> None:
+        if self.telemetry is not None:
+            self.telemetry.event(kind, **fields)
+
+    @staticmethod
+    def _children(tasks: Sequence[TaskSpec]) -> Dict[str, List[TaskSpec]]:
+        children: Dict[str, List[TaskSpec]] = {t.id: [] for t in tasks}
+        for task in tasks:
+            for dep in task.deps:
+                children[dep].append(task)
+        return children
+
+    @staticmethod
+    def _skip_dependents(
+        task_id: str,
+        children: Dict[str, List[TaskSpec]],
+        results: Dict[str, TaskResult],
+    ) -> None:
+        queue = deque(children[task_id])
+        while queue:
+            child = queue.popleft()
+            if child.id in results:
+                continue
+            results[child.id] = TaskResult(
+                id=child.id,
+                status=TaskStatus.SKIPPED,
+                error=f"dependency {task_id!r} did not succeed",
+            )
+            queue.extend(children[child.id])
+
+    # -- serial (inline) mode ----------------------------------------------
+
+    def _run_serial(self, ordered: Sequence[TaskSpec]) -> Dict[str, TaskResult]:
+        results: Dict[str, TaskResult] = {}
+        children = self._children(ordered)
+        for task in ordered:
+            if task.id in results:  # already skipped via a failed dependency
+                continue
+            results[task.id] = self._attempt_serial(task)
+            if not results[task.id].ok:
+                self._skip_dependents(task.id, children, results)
+        return results
+
+    def _attempt_serial(self, task: TaskSpec) -> TaskResult:
+        attempt = 0
+        while True:
+            attempt += 1
+            start = time.perf_counter()
+            try:
+                value, wall, rss = _run_attempt(task.fn, dict(task.kwargs))
+            except Exception as exc:
+                wall = time.perf_counter() - start
+                status, error = TaskStatus.FAILED, f"{type(exc).__name__}: {exc}"
+            else:
+                if task.timeout is not None and wall > task.timeout:
+                    # Inline mode cannot preempt: report the late attempt as
+                    # a timeout and discard its value for parity with the
+                    # process mode (where the value is lost with the worker).
+                    status, error = TaskStatus.TIMEOUT, f"attempt exceeded {task.timeout}s"
+                else:
+                    return TaskResult(
+                        id=task.id,
+                        status=TaskStatus.OK,
+                        value=value,
+                        attempts=attempt,
+                        wall_s=wall,
+                        peak_rss_kb=rss,
+                    )
+            if attempt <= task.retries:
+                delay = self._backoff_delay(task, attempt)
+                self._event("retry", task=task.id, attempt=attempt, delay_s=round(delay, 4), error=error)
+                self._sleep(delay)
+                continue
+            return TaskResult(id=task.id, status=status, error=error, attempts=attempt, wall_s=wall)
+
+    # -- process-pool mode --------------------------------------------------
+
+    def _run_pool(self, ordered: Sequence[TaskSpec]) -> Dict[str, TaskResult]:
+        results: Dict[str, TaskResult] = {}
+        children = self._children(ordered)
+        pending_deps = {t.id: set(t.deps) for t in ordered}
+        # Queue entries are (task, attempt-number-about-to-run).
+        ready: deque = deque((t, 1) for t in ordered if not t.deps)
+        sleeping: List[Tuple[float, TaskSpec, int]] = []
+        in_flight: Dict[Any, Tuple[TaskSpec, int, float, Optional[float]]] = {}
+
+        def finish(task: TaskSpec, result: TaskResult) -> None:
+            results[task.id] = result
+            if result.ok:
+                for child in children[task.id]:
+                    pending_deps[child.id].discard(task.id)
+                    if not pending_deps[child.id] and child.id not in results:
+                        ready.append((child, 1))
+            else:
+                self._skip_dependents(task.id, children, results)
+
+        def fail_or_retry(task: TaskSpec, attempt: int, status: TaskStatus, error: str, wall: float) -> None:
+            if attempt <= task.retries:
+                delay = self._backoff_delay(task, attempt)
+                self._event("retry", task=task.id, attempt=attempt, delay_s=round(delay, 4), error=error)
+                sleeping.append((time.monotonic() + delay, task, attempt + 1))
+            else:
+                finish(task, TaskResult(id=task.id, status=status, error=error, attempts=attempt, wall_s=wall))
+
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            while ready or sleeping or in_flight:
+                now = time.monotonic()
+                due = [entry for entry in sleeping if entry[0] <= now]
+                for entry in due:
+                    sleeping.remove(entry)
+                    ready.appendleft((entry[1], entry[2]))
+
+                while ready and len(in_flight) < self.jobs:
+                    task, attempt = ready.popleft()
+                    future = pool.submit(_run_attempt, task.fn, dict(task.kwargs))
+                    deadline = now + task.timeout if task.timeout is not None else None
+                    in_flight[future] = (task, attempt, now, deadline)
+
+                if not in_flight:
+                    if sleeping:  # idle until the earliest backoff expires
+                        self._sleep(max(0.0, min(e[0] for e in sleeping) - time.monotonic()))
+                    continue
+
+                done, _ = wait(list(in_flight), timeout=_TICK_S, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task, attempt, started, _deadline = in_flight.pop(future)
+                    try:
+                        value, wall, rss = future.result()
+                    except Exception as exc:
+                        wall = time.monotonic() - started
+                        fail_or_retry(task, attempt, TaskStatus.FAILED, f"{type(exc).__name__}: {exc}", wall)
+                    else:
+                        finish(
+                            task,
+                            TaskResult(
+                                id=task.id,
+                                status=TaskStatus.OK,
+                                value=value,
+                                attempts=attempt,
+                                wall_s=wall,
+                                peak_rss_kb=rss,
+                            ),
+                        )
+
+                now = time.monotonic()
+                expired = [f for f, (_t, _a, _s, dl) in in_flight.items() if dl is not None and now > dl]
+                if expired:
+                    victims = [in_flight[f] for f in expired]
+                    survivors = [v for f, v in in_flight.items() if f not in expired]
+                    in_flight.clear()
+                    # A running future cannot be cancelled: kill the workers
+                    # and rebuild the pool, resubmitting innocent bystanders
+                    # without charging their retry budget.
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=self.jobs)
+                    for task, attempt, _started, _dl in survivors:
+                        ready.appendleft((task, attempt))
+                    for task, attempt, started, _dl in victims:
+                        self._event("timeout", task=task.id, attempt=attempt, timeout_s=task.timeout)
+                        fail_or_retry(
+                            task,
+                            attempt,
+                            TaskStatus.TIMEOUT,
+                            f"attempt exceeded {task.timeout}s",
+                            now - started,
+                        )
+        finally:
+            _kill_pool(pool)
+        return results

@@ -1,0 +1,47 @@
+"""Code fingerprinting for the content-addressed result cache.
+
+A cached experiment result is only valid while the code that produced
+it is unchanged.  :func:`code_fingerprint` hashes every ``*.py`` file of
+a package tree (path *and* content, in sorted order) into one hex
+digest; the cache folds it into every key, so editing any source file
+transparently invalidates all prior entries without any bookkeeping.
+
+The walk covers the whole ``repro`` package by default (~100 small
+files, well under 10 ms) rather than trying to trace per-experiment
+imports — precise dependency tracking would save little and risks
+stale-cache bugs, the one failure mode a result cache must not have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["code_fingerprint", "tree_fingerprint"]
+
+
+def tree_fingerprint(root: Path) -> str:
+    """Hex digest over every ``*.py`` file under *root* (path + content)."""
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@lru_cache(maxsize=8)
+def code_fingerprint(package: str = "repro") -> str:
+    """Fingerprint of an importable package's source tree.
+
+    Cached per process: the sources cannot change meaningfully mid-run
+    (imported modules are already loaded), and the runner consults the
+    fingerprint once per experiment.
+    """
+    module = importlib.import_module(package)
+    if not getattr(module, "__file__", None):  # pragma: no cover - namespace pkg
+        raise ValueError(f"package {package!r} has no source tree to fingerprint")
+    return tree_fingerprint(Path(module.__file__).resolve().parent)

@@ -1,0 +1,103 @@
+"""Task and result types for the :mod:`repro.runtime` executor.
+
+A :class:`TaskSpec` names one unit of work: a picklable module-level
+callable plus keyword arguments, optional dependencies on other tasks,
+a per-attempt timeout and a bounded retry budget.  The executor returns
+one :class:`TaskResult` per task; a failed task never raises out of the
+engine — it is reported with its error and every transitively dependent
+task is marked ``skipped``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["TaskSpec", "TaskResult", "TaskStatus", "toposort"]
+
+
+class TaskStatus(str, Enum):
+    """Terminal state of one task."""
+
+    OK = "ok"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit of work.
+
+    ``fn`` must be an importable module-level callable so it can cross a
+    process boundary; ``kwargs`` must likewise be picklable.  ``timeout``
+    bounds a single attempt in seconds (``None`` = unbounded), and
+    ``retries`` is the number of *additional* attempts after the first.
+    """
+
+    id: str
+    fn: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    deps: Tuple[str, ...] = ()
+    timeout: Optional[float] = None
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("task id must be non-empty")
+        if self.retries < 0:
+            raise ValueError(f"task {self.id!r}: retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"task {self.id!r}: timeout must be positive")
+
+
+@dataclass
+class TaskResult:
+    """Terminal outcome of one task."""
+
+    id: str
+    status: TaskStatus
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 0
+    wall_s: float = 0.0
+    peak_rss_kb: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is TaskStatus.OK
+
+
+def toposort(tasks: Sequence[TaskSpec]) -> list:
+    """Order *tasks* so every task follows its dependencies.
+
+    Preserves the given order among independent tasks (stable Kahn walk)
+    and raises ``ValueError`` on duplicate ids, unknown dependencies, or
+    cycles.
+    """
+    by_id: Dict[str, TaskSpec] = {}
+    for task in tasks:
+        if task.id in by_id:
+            raise ValueError(f"duplicate task id: {task.id!r}")
+        by_id[task.id] = task
+    for task in tasks:
+        for dep in task.deps:
+            if dep not in by_id:
+                raise ValueError(f"task {task.id!r} depends on unknown task {dep!r}")
+            if dep == task.id:
+                raise ValueError(f"task {task.id!r} depends on itself")
+
+    remaining = {t.id: set(t.deps) for t in tasks}
+    ordered = []
+    while remaining:
+        ready = [t for t in tasks if t.id in remaining and not remaining[t.id]]
+        if not ready:
+            cycle = ", ".join(sorted(remaining))
+            raise ValueError(f"dependency cycle among tasks: {cycle}")
+        for task in ready:
+            ordered.append(task)
+            del remaining[task.id]
+        for deps in remaining.values():
+            deps.difference_update(t.id for t in ready)
+    return ordered

@@ -1,0 +1,105 @@
+"""Structured run telemetry: JSONL spans, events and metrics.
+
+Instead of print statements, the experiment engine records one *span*
+per task (wall time, cache hit/miss, retry count, peak RSS, status),
+plus free-form *events* (retries, timeouts, pool rebuilds) and summary
+*metrics*.  ``Telemetry.write`` persists the records as JSON Lines — one
+JSON object per line, each carrying a ``type`` discriminator — which is
+trivially greppable and loads into any dataframe library.
+
+The ``repro-experiments --trace FILE`` flag wires this up end to end;
+:func:`summarize` renders the human-readable digest the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Telemetry", "summarize"]
+
+#: Bump when the record schema changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+class Telemetry:
+    """Collects structured records for one engine run."""
+
+    def __init__(self, clock=time.time) -> None:
+        self._clock = clock
+        self.records: List[Dict[str, Any]] = []
+
+    def _record(self, type_: str, fields: Dict[str, Any]) -> Dict[str, Any]:
+        rec = {"type": type_, "ts": round(self._clock(), 6), **fields}
+        self.records.append(rec)
+        return rec
+
+    def span(
+        self,
+        task: str,
+        *,
+        status: str,
+        wall_s: float,
+        cache_hit: bool,
+        retries: int,
+        peak_rss_kb: Optional[int] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """One terminal record per task; ``retries`` counts extra attempts."""
+        return self._record(
+            "span",
+            {
+                "task": task,
+                "status": status,
+                "wall_s": round(wall_s, 6),
+                "cache_hit": cache_hit,
+                "retries": retries,
+                "peak_rss_kb": peak_rss_kb,
+                **extra,
+            },
+        )
+
+    def event(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Free-form mid-run happening (retry scheduled, pool rebuilt, ...)."""
+        return self._record("event", {"kind": kind, **fields})
+
+    def metric(self, name: str, value: Any, **labels: Any) -> Dict[str, Any]:
+        """One aggregate measurement for the whole run."""
+        return self._record("metric", {"name": name, "value": value, **labels})
+
+    @property
+    def spans(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["type"] == "span"]
+
+    def write(self, path: str) -> None:
+        """Persist all records as JSON Lines, prefixed by a header record."""
+        header = {"type": "header", "schema": TRACE_SCHEMA_VERSION, "ts": round(self._clock(), 6)}
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in [header, *self.records]:
+                fh.write(json.dumps(rec, sort_keys=True, default=str) + "\n")
+
+    def summary(self) -> str:
+        return summarize(self.spans)
+
+
+def summarize(spans: List[Dict[str, Any]]) -> str:
+    """Render the one-paragraph digest of a run's spans."""
+    if not spans:
+        return "telemetry: no tasks recorded"
+    by_status: Dict[str, int] = {}
+    for span in spans:
+        by_status[span["status"]] = by_status.get(span["status"], 0) + 1
+    hits = sum(1 for s in spans if s.get("cache_hit"))
+    retries = sum(int(s.get("retries") or 0) for s in spans)
+    wall = sum(float(s.get("wall_s") or 0.0) for s in spans)
+    rss_values = [s["peak_rss_kb"] for s in spans if s.get("peak_rss_kb")]
+    parts = [
+        f"{len(spans)} task(s): " + ", ".join(f"{n} {st}" for st, n in sorted(by_status.items())),
+        f"cache {hits} hit / {len(spans) - hits} miss",
+        f"{retries} retrie(s)",
+        f"{wall:.1f}s total task wall time",
+    ]
+    if rss_values:
+        parts.append(f"peak RSS {max(rss_values) / 1024:.0f} MB")
+    return "telemetry: " + "; ".join(parts)

@@ -7,6 +7,12 @@ import pytest
 from repro.experiments.runner import main
 
 
+@pytest.fixture
+def cache_dir(tmp_path):
+    """Isolated result cache so tests never touch results/cache."""
+    return str(tmp_path / "cache")
+
+
 class TestRunner:
     def test_list(self, capsys):
         assert main(["--list"]) == 0
@@ -18,27 +24,59 @@ class TestRunner:
         with pytest.raises(SystemExit):
             main(["nonsense"])
 
-    def test_single_quick_run(self, capsys):
-        assert main(["figure2"]) == 0
+    def test_bad_jobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure2", "--jobs", "0"])
+
+    def test_single_quick_run(self, cache_dir, capsys):
+        assert main(["figure2", "--cache-dir", cache_dir]) == 0
         out = capsys.readouterr().out
         assert "Figure 2" in out
         assert "[OK ]" in out
 
-    def test_out_dir_writes_artifacts(self, tmp_path, capsys):
+    def test_out_dir_writes_into_stamped_run_dir(self, tmp_path, cache_dir, capsys):
         out_dir = str(tmp_path / "results")
-        assert main(["figure2", "--out", out_dir]) == 0
-        assert os.path.exists(os.path.join(out_dir, "figure2.txt"))
-        assert os.path.exists(os.path.join(out_dir, "figure2.csv"))
-        assert os.path.exists(os.path.join(out_dir, "figure2.svg"))
+        assert main(["figure2", "--out", out_dir, "--cache-dir", cache_dir]) == 0
+        latest = os.path.join(out_dir, "latest")
+        assert os.path.islink(latest)
+        run_dir = os.path.realpath(latest)
+        assert os.path.basename(run_dir).startswith("run-")
+        assert "seed0" in os.path.basename(run_dir)
+        for ext in ("txt", "csv", "svg"):
+            assert os.path.exists(os.path.join(latest, f"figure2.{ext}"))
 
-    def test_quick_flag_threads_n_jobs(self, capsys):
-        assert main(["table2", "--quick"]) == 0
+    def test_successive_runs_do_not_overwrite(self, tmp_path, cache_dir, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["figure2", "--out", out_dir, "--cache-dir", cache_dir]) == 0
+        first = os.path.realpath(os.path.join(out_dir, "latest"))
+        assert main(["figure2", "--out", out_dir, "--cache-dir", cache_dir]) == 0
+        second = os.path.realpath(os.path.join(out_dir, "latest"))
+        assert first != second
+        assert os.path.exists(os.path.join(first, "figure2.txt"))
+        assert os.path.exists(os.path.join(second, "figure2.txt"))
+
+    def test_quick_flag_threads_n_jobs(self, cache_dir, capsys):
+        assert main(["table2", "--quick", "--cache-dir", cache_dir]) == 0
         assert "Table 2" in capsys.readouterr().out
 
-    def test_report_scorecard(self, tmp_path, capsys):
+    def test_report_scorecard(self, tmp_path, cache_dir, capsys):
         report = tmp_path / "score.md"
-        assert main(["figure2", "--report", str(report)]) == 0
+        assert main(["figure2", "--report", str(report), "--cache-dir", cache_dir]) == 0
         text = report.read_text()
         assert "Reproduction scorecard" in text
         assert "claims hold" in text
         assert "| figure2 |" in text
+
+    def test_second_run_hits_cache(self, cache_dir, capsys):
+        assert main(["figure2", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["figure2", "--cache-dir", cache_dir]) == 0
+        assert "cached" in capsys.readouterr().out
+
+    def test_no_cache_forces_recompute(self, cache_dir, capsys):
+        assert main(["figure2", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["figure2", "--cache-dir", cache_dir, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cached" not in out
+        assert "finished in" in out

@@ -1,0 +1,106 @@
+"""Result-cache tests: key scheme, round-trips, invalidation, corruption."""
+
+import json
+
+import pytest
+
+from repro.runtime import ResultCache, cache_key, code_fingerprint, tree_fingerprint
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        a = cache_key("figure1", {"seed": 0}, "fp")
+        b = cache_key("figure1", {"seed": 0}, "fp")
+        assert a == b
+        assert len(a) == 64
+
+    def test_kwarg_order_is_canonical(self):
+        assert cache_key("e", {"a": 1, "b": 2}, "fp") == cache_key(
+            "e", {"b": 2, "a": 1}, "fp"
+        )
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            ("figure2", {"seed": 0}, "fp"),
+            ("figure1", {"seed": 1}, "fp"),
+            ("figure1", {"seed": 0, "n_jobs": 100}, "fp"),
+            ("figure1", {"seed": 0}, "fp2"),
+        ],
+        ids=["experiment", "seed", "kwargs", "fingerprint"],
+    )
+    def test_any_input_change_changes_key(self, other):
+        assert cache_key("figure1", {"seed": 0}, "fp") != cache_key(*other)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("figure1", {"seed": 0})
+        assert cache.get(key) is None
+        payload = {"report": "hello", "claims": [{"holds": True}]}
+        path = cache.put(key, payload, meta={"seed": 0})
+        assert path.exists()
+        assert cache.get(key) == payload
+        assert key in cache
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("figure1", {"seed": 0})
+        path = cache.put(key, {"report": ""})
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        old = ResultCache(str(tmp_path), fingerprint="fp-old")
+        key = old.key("figure1", {"seed": 0})
+        old.put(key, {"report": "stale"})
+        new = ResultCache(str(tmp_path), fingerprint="fp-new")
+        assert new.get(new.key("figure1", {"seed": 0})) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("figure1", {"seed": 0})
+        path = cache.put(key, {"report": "x"})
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("figure1", {"seed": 0})
+        path = cache.put(key, {"report": "x"})
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["version"] = -1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_default_fingerprint_is_code_fingerprint(self, tmp_path):
+        assert ResultCache(str(tmp_path)).fingerprint == code_fingerprint()
+
+
+class TestFingerprint:
+    def test_stable_and_sensitive(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.py").write_text("y = 2\n")
+        fp1 = tree_fingerprint(tmp_path)
+        assert fp1 == tree_fingerprint(tmp_path)
+        (tmp_path / "a.py").write_text("x = 2\n")
+        assert tree_fingerprint(tmp_path) != fp1
+
+    def test_new_file_changes_fingerprint(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        fp1 = tree_fingerprint(tmp_path)
+        (tmp_path / "c.py").write_text("")
+        assert tree_fingerprint(tmp_path) != fp1
+
+    def test_non_python_files_ignored(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        fp1 = tree_fingerprint(tmp_path)
+        (tmp_path / "notes.txt").write_text("irrelevant")
+        assert tree_fingerprint(tmp_path) == fp1
+
+    def test_code_fingerprint_covers_repro(self):
+        fp = code_fingerprint("repro")
+        assert len(fp) == 64
+        assert fp == code_fingerprint("repro")

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.selfsim",
     "repro.archive",
     "repro.scheduler",
+    "repro.runtime",
     "repro.experiments",
 ]
 
