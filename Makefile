@@ -3,13 +3,25 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: install test bench experiments experiments-quick quick results archive clean
+.PHONY: install test lint bench experiments experiments-quick quick results archive clean
 
 install:
 	pip install -e .[test]
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static analysis: the self-hosted determinism linter is the hard gate;
+# ruff/mypy run when installed (CI installs them) and are skipped
+# gracefully on machines that only have the runtime deps.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src tests
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check src tests; \
+	else echo "ruff not installed -- skipping"; fi
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		PYTHONPATH=src $(PYTHON) -m mypy src/repro/lint; \
+	else echo "mypy not installed -- skipping"; fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

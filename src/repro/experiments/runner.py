@@ -47,7 +47,9 @@ def _ensure_parent(path: str) -> None:
 
 
 def _run_dir_name(*, seed: int, quick: bool) -> str:
-    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+    # Run directories are wall-clock stamped so successive runs sort and
+    # never collide; the stamp never reaches an experiment or cache key.
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())  # repro-lint: disable=REP003
     return f"run-{stamp}-seed{seed}" + ("-quick" if quick else "")
 
 

@@ -1,0 +1,326 @@
+"""Single-pass lint engine: parse once, dispatch nodes to every rule.
+
+:func:`lint_source` parses one module, builds the import-alias table and
+the inline-suppression map, then walks the AST exactly once; each node
+is dispatched to the rules that registered interest in its type.  Rules
+never re-walk the tree, so the cost of a lint run is one ``ast.parse``
+plus one ``tokenize`` pass per file regardless of how many rules are
+registered.
+
+Inline suppressions::
+
+    x = time.time()  # repro-lint: disable=REP003 -- wall clock is the point
+    y = risky()      # repro-lint: disable           (all rules, this line)
+    # repro-lint: disable-file=REP005               (whole file, that rule)
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ImportTable",
+    "ModuleContext",
+    "PARSE_ERROR_CODE",
+    "collect_suppressions",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Pseudo-rule code for files the parser rejects; not configurable.
+PARSE_ERROR_CODE = "REP000"
+
+#: Sentinel inside a suppression set meaning "every rule".
+_ALL_CODES = "*"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)\s*(?:=\s*(?P<codes>[A-Za-z0-9_,\s]+))?"
+)
+
+
+class ImportTable:
+    """Maps local names to the canonical dotted path they were imported as."""
+
+    def __init__(self) -> None:
+        self._aliases: Dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname is not None:
+                self._aliases[alias.asname] = alias.name
+            else:
+                # ``import a.b.c`` binds only ``a``.
+                root = alias.name.split(".")[0]
+                self._aliases[root] = root
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:  # relative import: target unknown
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Canonical dotted name of *node* (``np.random.rand`` ->
+        ``numpy.random.rand``), or ``None`` when the root is not an
+        imported name."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(parts)])
+
+
+def collect_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Parse inline suppression comments out of *source*.
+
+    Returns ``(per_line, per_file)`` where ``per_line`` maps a physical
+    line number to the codes suppressed on that line and ``per_file`` is
+    the set suppressed everywhere; either set may contain the ``"*"``
+    sentinel meaning all rules.  Uses :mod:`tokenize` so suppression
+    text inside string literals is ignored.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return per_line, per_file
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        codes = (
+            {code.strip() for code in raw.split(",") if code.strip()}
+            if raw is not None
+            else {_ALL_CODES}
+        )
+        if match.group("kind") == "disable-file":
+            per_file.update(codes)
+        else:
+            per_line.setdefault(token.start[0], set()).update(codes)
+    return per_line, per_file
+
+
+@dataclass
+class _SourceInfo:
+    path: str
+    imports: ImportTable
+    line_suppressions: Dict[int, Set[str]]
+    file_suppressions: Set[str]
+
+
+class ModuleContext:
+    """Per-module state shared by all rules during one walk."""
+
+    def __init__(self, info: _SourceInfo) -> None:
+        self._info = info
+        self.findings: List[Finding] = []
+        #: Names of functions defined inside each enclosing function scope.
+        self._nested_def_stack: List[Set[str]] = []
+        self._assert_depth = 0
+
+    # -- queries used by rules ---------------------------------------------
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        return self._info.imports.resolve(node)
+
+    @property
+    def in_assert(self) -> bool:
+        return self._assert_depth > 0
+
+    def is_nested_def(self, name: str) -> bool:
+        """True when *name* is a function defined inside an enclosing
+        function (i.e. referencing it builds a closure)."""
+        return any(name in scope for scope in self._nested_def_stack)
+
+    # -- reporting ----------------------------------------------------------
+
+    def _suppressed(self, code: str, line: int) -> bool:
+        for codes in (self._info.file_suppressions, self._info.line_suppressions.get(line, set())):
+            if _ALL_CODES in codes or code in codes:
+                return True
+        return False
+
+    def report(self, node: ast.AST, rule: Rule, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self._suppressed(rule.code, line):
+            return
+        self.findings.append(
+            Finding(
+                path=self._info.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                code=rule.code,
+                severity=rule.severity,
+                message=message,
+            )
+        )
+
+
+class _Walker(ast.NodeVisitor):
+    """One tree walk that feeds every rule and tracks lexical context."""
+
+    def __init__(self, ctx: ModuleContext, rules: Sequence[Rule]) -> None:
+        self._ctx = ctx
+        self._dispatch: Dict[type, List[Rule]] = {}
+        for rule in rules:
+            for node_type in rule.node_types:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def visit(self, node: ast.AST) -> None:
+        for rule in self._dispatch.get(type(node), ()):
+            rule.visit(self._ctx, node)
+        method = getattr(self, f"visit_{type(node).__name__}", None)
+        if method is not None:
+            method(node)
+        else:
+            self.generic_visit(node)
+
+    # -- context bookkeeping (imports, scopes, asserts) ---------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self._ctx._info.imports.add_import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self._ctx._info.imports.add_import_from(node)
+
+    def _visit_function(self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
+        nested = {
+            child.name
+            for child in ast.walk(node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) and child is not node
+        }
+        self._ctx._nested_def_stack.append(nested)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._ctx._nested_def_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._ctx._assert_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._ctx._assert_depth -= 1
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    rules: Sequence[Rule] = ALL_RULES,
+) -> List[Finding]:
+    """Lint one module's *source* with *rules*; returns sorted findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    per_line, per_file = collect_suppressions(source)
+    info = _SourceInfo(
+        path=path,
+        imports=ImportTable(),
+        line_suppressions=per_line,
+        file_suppressions=per_file,
+    )
+    ctx = ModuleContext(info)
+    _Walker(ctx, rules).visit(tree)
+    return sorted(ctx.findings)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """All ``*.py`` files under *paths* (files or directories), deduplicated
+    and in sorted order; raises ``FileNotFoundError`` for missing paths."""
+    seen: Set[Path] = set()
+    collected: List[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        elif root.is_file():
+            candidates = [root]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for candidate in candidates:
+            if not candidate.is_file():  # a directory named *.py
+                continue
+            key = candidate.resolve()
+            if key not in seen:
+                seen.add(key)
+                collected.append(candidate)
+    return iter(collected)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    config: Optional[LintConfig] = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> Tuple[List[Finding], int]:
+    """Lint every Python file under *paths*.
+
+    Returns ``(findings, files_scanned)``; excluded files are neither
+    linted nor counted.
+    """
+    cfg = config if config is not None else LintConfig()
+    findings: List[Finding] = []
+    scanned = 0
+    for path in iter_python_files(paths):
+        if cfg.file_excluded(path):
+            continue
+        applicable = [rule for rule in rules if cfg.rule_applies(rule.code, path)]
+        scanned += 1
+        if not applicable:
+            continue
+        try:
+            source = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=0,
+                    code=PARSE_ERROR_CODE,
+                    severity=Severity.ERROR,
+                    message=f"file is unreadable: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, path=str(path), rules=applicable))
+    return sorted(findings), scanned

@@ -1,0 +1,54 @@
+"""Finding and severity types shared by every lint rule.
+
+A :class:`Finding` is one diagnosed problem at one source location.  The
+dataclass orders by ``(path, line, col, code)`` so reports are stable
+across runs and operating systems — a property the JSON artifact relies
+on when lint output is diffed between CI runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(str, enum.Enum):
+    """How strongly a finding indicates broken reproducibility.
+
+    Both levels gate the CLI (any finding is a nonzero exit); the split
+    exists so reports can distinguish determinism/cache *corruption*
+    (``error``) from numerical-robustness hazards (``warning``).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnosed problem at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        """The canonical one-line text form, ``path:line:col: CODE ...``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.severity.value}] {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form used by ``--format json``."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+        }

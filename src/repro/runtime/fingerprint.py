@@ -23,12 +23,23 @@ __all__ = ["code_fingerprint", "tree_fingerprint"]
 
 
 def tree_fingerprint(root: Path) -> str:
-    """Hex digest over every ``*.py`` file under *root* (path + content)."""
+    """Hex digest over every ``*.py`` file under *root* (path + content).
+
+    Entries that cannot be read — broken symlinks, files an editor
+    deleted between ``rglob`` and the read, directories named ``*.py``
+    — are skipped rather than failing the run: a transient artifact
+    must not abort an experiment batch, and anything skipped simply
+    never contributes to (or invalidates) a cache key.
+    """
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
+        try:
+            content = path.read_bytes()
+        except OSError:
+            continue
         digest.update(path.relative_to(root).as_posix().encode("utf-8"))
         digest.update(b"\0")
-        digest.update(path.read_bytes())
+        digest.update(content)
         digest.update(b"\0")
     return digest.hexdigest()
 

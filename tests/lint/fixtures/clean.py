@@ -1,0 +1,26 @@
+"""Fixture: clean counterpart — the seeded, cache-safe way to do all of it."""
+
+import math
+
+from repro.util.rng import as_generator
+
+
+def sample(n, seed=0):
+    rng = as_generator(seed)
+    return rng.normal(size=n)
+
+
+def stamp_result(payload, generated_at):
+    payload["generated_at"] = generated_at
+    return payload
+
+
+def is_perfect_fit(r_squared, tol=1e-9):
+    return math.isclose(r_squared, 1.0, abs_tol=tol)
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

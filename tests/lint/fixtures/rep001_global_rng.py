@@ -1,0 +1,5 @@
+"""Fixture: REP001 — module-level global RNG draw."""
+
+import numpy as np
+
+NOISE = np.random.rand(16)  # violation: global RNG state

@@ -1,0 +1,8 @@
+"""Fixture: REP002 — generator built from fresh OS entropy."""
+
+from numpy.random import default_rng
+
+
+def sample(n):
+    rng = default_rng()  # violation: unseeded
+    return rng.normal(size=n)

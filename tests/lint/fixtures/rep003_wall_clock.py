@@ -1,0 +1,8 @@
+"""Fixture: REP003 — wall-clock read in library code."""
+
+import time
+
+
+def stamp_result(payload):
+    payload["generated_at"] = time.time()  # violation: wall clock
+    return payload

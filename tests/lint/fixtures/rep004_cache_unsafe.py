@@ -1,0 +1,5 @@
+"""Fixture: REP004 — cache-unsafe callable handed to the runtime."""
+
+from repro.runtime import TaskSpec
+
+SPEC = TaskSpec(id="bad", fn=lambda: 1)  # violation: unpicklable lambda

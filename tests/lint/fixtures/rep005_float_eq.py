@@ -1,0 +1,5 @@
+"""Fixture: REP005 — bare float equality on a computed quantity."""
+
+
+def is_perfect_fit(r_squared):
+    return r_squared == 1.0  # violation: needs a tolerance

@@ -1,0 +1,6 @@
+"""Fixture: REP006 — mutable default argument."""
+
+
+def collect(item, bucket=[]):  # violation: shared across calls
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,151 @@
+"""Engine-level behaviour: alias resolution, suppressions, parse errors."""
+
+import ast
+import textwrap
+
+from repro.lint import PARSE_ERROR_CODE, Severity, lint_source
+from repro.lint.engine import ImportTable, collect_suppressions
+
+
+def codes(source):
+    return [f.code for f in lint_source(textwrap.dedent(source))]
+
+
+class TestImportTable:
+    def resolve(self, source, expr):
+        table = ImportTable()
+        for node in ast.parse(source).body:
+            if isinstance(node, ast.Import):
+                table.add_import(node)
+            elif isinstance(node, ast.ImportFrom):
+                table.add_import_from(node)
+        return table.resolve(ast.parse(expr, mode="eval").body)
+
+    def test_plain_import(self):
+        assert self.resolve("import time", "time.time") == "time.time"
+
+    def test_aliased_import(self):
+        assert self.resolve("import numpy as np", "np.random.rand") == "numpy.random.rand"
+
+    def test_submodule_import_binds_root(self):
+        assert self.resolve("import numpy.random", "numpy.random.rand") == "numpy.random.rand"
+
+    def test_from_import_with_alias(self):
+        assert (
+            self.resolve("from numpy.random import default_rng as mk", "mk")
+            == "numpy.random.default_rng"
+        )
+
+    def test_from_import_shadows_stdlib(self):
+        assert self.resolve("from numpy import random", "random.rand") == "numpy.random.rand"
+
+    def test_unknown_and_relative_names_unresolved(self):
+        assert self.resolve("import time", "os.urandom") is None
+        assert self.resolve("from . import sibling", "sibling.f") is None
+
+    def test_call_rooted_expression_unresolved(self):
+        assert self.resolve("import random", "random.Random(0).random") is None
+
+
+class TestSuppressions:
+    def test_line_suppression_specific_code(self):
+        assert (
+            codes(
+                """\
+                import time
+                t = time.time()  # repro-lint: disable=REP003
+                """
+            )
+            == []
+        )
+
+    def test_line_suppression_with_trailing_rationale(self):
+        assert (
+            codes(
+                """\
+                import time
+                t = time.time()  # repro-lint: disable=REP003 -- wall clock is the point
+                """
+            )
+            == []
+        )
+
+    def test_line_suppression_wrong_code_still_reports(self):
+        assert codes(
+            """\
+            import time
+            t = time.time()  # repro-lint: disable=REP001
+            """
+        ) == ["REP003"]
+
+    def test_line_suppression_all_codes(self):
+        assert (
+            codes(
+                """\
+                import time
+                def f(acc=[]):
+                    return 1
+                t = time.time()  # repro-lint: disable
+                """
+            )
+            == ["REP006"]
+        )
+
+    def test_line_suppression_multiple_codes(self):
+        assert (
+            codes(
+                """\
+                import time
+                def f(acc=[]):  # repro-lint: disable=REP006, REP001
+                    return time.time()  # repro-lint: disable=REP003
+                """
+            )
+            == []
+        )
+
+    def test_file_suppression(self):
+        assert (
+            codes(
+                """\
+                # repro-lint: disable-file=REP003
+                import time
+                a = time.time()
+                b = time.time_ns()
+                """
+            )
+            == []
+        )
+
+    def test_suppression_only_covers_its_line(self):
+        assert codes(
+            """\
+            import time
+            a = time.time()  # repro-lint: disable=REP003
+            b = time.time()
+            """
+        ) == ["REP003"]
+
+    def test_suppression_text_inside_string_ignored(self):
+        assert codes(
+            """\
+            import time
+            note = "# repro-lint: disable-file=REP003"
+            t = time.time()
+            """
+        ) == ["REP003"]
+
+    def test_collect_suppressions_shapes(self):
+        per_line, per_file = collect_suppressions(
+            "# repro-lint: disable-file=REP005\nx = 1  # repro-lint: disable=REP001,REP002\n"
+        )
+        assert per_file == {"REP005"}
+        assert per_line == {2: {"REP001", "REP002"}}
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_finding(self):
+        (f,) = lint_source("def broken(:\n", path="bad.py")
+        assert f.code == PARSE_ERROR_CODE
+        assert f.path == "bad.py"
+        assert f.severity is Severity.ERROR
+        assert "does not parse" in f.message

@@ -1,0 +1,32 @@
+"""The self-hosted gate: the analyzer must be clean on its own codebase.
+
+This is the same invocation CI runs (``python -m repro.lint src tests``)
+— if it fails, either a determinism violation crept in or a new rule
+needs the offending code fixed/suppressed before it can land.
+"""
+
+import json
+from pathlib import Path
+
+from repro.lint.cli import EXIT_CLEAN, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfHost:
+    def test_src_and_tests_are_clean(self, capsys):
+        code = main([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests"), "--format", "json"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"] == [], "\n".join(
+            f"{f['path']}:{f['line']}: {f['code']} {f['message']}" for f in report["findings"]
+        )
+        assert code == EXIT_CLEAN
+        # Sanity: the walk really covered the codebase.
+        assert report["files_scanned"] > 100
+
+    def test_repo_config_excludes_lint_fixtures(self, capsys):
+        # The fixtures directory holds deliberate violations; the repo
+        # pyproject must keep them out of the gate.
+        code = main([str(REPO_ROOT / "tests" / "lint" / "fixtures")])
+        assert code == EXIT_CLEAN
+        assert "0 file(s) scanned" in capsys.readouterr().out

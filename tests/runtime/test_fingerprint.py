@@ -1,0 +1,87 @@
+"""Fingerprint hardening and lint-aware cache invalidation."""
+
+import shutil
+from pathlib import Path
+
+import repro
+from repro.runtime import cache_key, code_fingerprint, tree_fingerprint
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+def make_tree(root: Path) -> None:
+    (root / "pkg").mkdir(parents=True)
+    (root / "pkg" / "a.py").write_text("A = 1\n", encoding="utf-8")
+    (root / "pkg" / "b.py").write_text("B = 2\n", encoding="utf-8")
+
+
+class TestTreeFingerprintRobustness:
+    def test_broken_symlink_is_skipped(self, tmp_path):
+        make_tree(tmp_path)
+        baseline = tree_fingerprint(tmp_path)
+        link = tmp_path / "pkg" / "ghost.py"
+        link.symlink_to(tmp_path / "pkg" / "vanished.py")
+        assert not link.exists()
+        assert tree_fingerprint(tmp_path) == baseline
+
+    def test_directory_named_like_module_is_skipped(self, tmp_path):
+        make_tree(tmp_path)
+        baseline = tree_fingerprint(tmp_path)
+        (tmp_path / "pkg" / "weird.py").mkdir()
+        # Its own *contents* still count, as for any directory.
+        assert tree_fingerprint(tmp_path) == baseline
+
+    def test_content_and_path_still_fingerprinted(self, tmp_path):
+        make_tree(tmp_path)
+        baseline = tree_fingerprint(tmp_path)
+        (tmp_path / "pkg" / "a.py").write_text("A = 99\n", encoding="utf-8")
+        changed = tree_fingerprint(tmp_path)
+        assert changed != baseline
+        (tmp_path / "pkg" / "a.py").write_text("A = 1\n", encoding="utf-8")
+        assert tree_fingerprint(tmp_path) == baseline
+        (tmp_path / "pkg" / "a.py").rename(tmp_path / "pkg" / "c.py")
+        assert tree_fingerprint(tmp_path) != baseline
+
+
+class TestLintRulesInvalidateCache:
+    """Editing the analyzer must invalidate cached experiment results.
+
+    The lint rules define which code may run — a rule change can force
+    (or reveal) behaviour changes, so cached payloads produced under the
+    old tree must not survive it.  ``repro/lint`` lives inside the
+    fingerprinted package, which these tests pin down.
+    """
+
+    def test_lint_package_is_inside_fingerprinted_tree(self):
+        assert (PACKAGE_ROOT / "lint" / "rules.py").is_file()
+        assert code_fingerprint("repro")  # importable and hashable
+
+    def test_editing_a_rule_file_changes_fingerprint_and_cache_key(self, tmp_path):
+        copy = tmp_path / "repro"
+        shutil.copytree(
+            PACKAGE_ROOT, copy, ignore=shutil.ignore_patterns("__pycache__", "*.pyc")
+        )
+        before = tree_fingerprint(copy)
+        rule_file = copy / "lint" / "rules.py"
+        rule_file.write_text(
+            rule_file.read_text(encoding="utf-8") + "\n# tightened rule\n", encoding="utf-8"
+        )
+        after = tree_fingerprint(copy)
+        assert after != before
+        assert cache_key("table1", {"seed": 0}, before) != cache_key(
+            "table1", {"seed": 0}, after
+        )
+
+    def test_every_lint_module_is_covered(self, tmp_path):
+        copy = tmp_path / "repro"
+        shutil.copytree(
+            PACKAGE_ROOT, copy, ignore=shutil.ignore_patterns("__pycache__", "*.pyc")
+        )
+        before = tree_fingerprint(copy)
+        for module in sorted((copy / "lint").glob("*.py")):
+            module.write_text(
+                module.read_text(encoding="utf-8") + "\n# touched\n", encoding="utf-8"
+            )
+            changed = tree_fingerprint(copy)
+            assert changed != before, f"editing {module.name} did not change the fingerprint"
+            before = changed
