@@ -3,7 +3,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: install test lint bench experiments experiments-quick quick results archive clean
+.PHONY: install test lint chaos bench experiments experiments-quick quick results archive clean
 
 install:
 	pip install -e .[test]
@@ -22,6 +22,19 @@ lint:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		PYTHONPATH=src $(PYTHON) -m mypy src/repro/lint; \
 	else echo "mypy not installed -- skipping"; fi
+
+# Failure drills: fault injection, kill-and-resume, cache contention.
+# pytest-timeout (when installed) backstops a hang in the drills
+# themselves; the suite passes without it.
+CHAOS_TESTS = tests/runtime/test_chaos.py tests/runtime/test_journal.py \
+	tests/runtime/test_cache_hardening.py tests/experiments/test_resume.py
+
+chaos:
+	@if $(PYTHON) -c "import pytest_timeout" 2>/dev/null; then \
+		PYTHONPATH=src $(PYTHON) -m pytest -q --timeout 300 $(CHAOS_TESTS); \
+	else \
+		PYTHONPATH=src $(PYTHON) -m pytest -q $(CHAOS_TESTS); \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

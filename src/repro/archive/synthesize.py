@@ -53,6 +53,7 @@ from repro.archive.targets import (
 )
 from repro.selfsim.fgn import fgn
 from repro.stats.distributions import Discrete, Distribution
+from repro.util.atomicio import atomic_write_text
 from repro.util.rng import SeedLike, as_generator, spawn_children
 from repro.workload.fields import (
     MISSING,
@@ -409,6 +410,7 @@ def export_archive(
         f"{name}\t{logs[name].machine.name}\t{len(logs[name])} jobs\tseed={seed}"
         for name in logs
     ]
-    with open(os.path.join(str(directory), "INDEX.txt"), "w", encoding="utf-8") as fh:
-        fh.write("\n".join(index_lines) + "\n")
+    atomic_write_text(
+        os.path.join(str(directory), "INDEX.txt"), "\n".join(index_lines) + "\n"
+    )
     return paths

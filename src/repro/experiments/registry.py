@@ -41,6 +41,7 @@ __all__ = [
     "REGISTRY",
     "build_kwargs",
     "execute_experiment",
+    "execute_experiment_cached",
     "validate_registry",
 ]
 
@@ -167,3 +168,33 @@ def execute_experiment(exp_id: str, kwargs: Mapping[str, Any]) -> Dict[str, Any]
         payload["artifacts"]["csv"] = coplot_to_csv(coplot)
         payload["artifacts"]["svg"] = coplot_to_svg(coplot)
     return payload
+
+
+def execute_experiment_cached(
+    exp_id: str,
+    kwargs: Mapping[str, Any],
+    cache_dir: str,
+    fingerprint: str,
+    refresh: bool = False,
+) -> Dict[str, Any]:
+    """Run one experiment through the shared result cache, in the worker.
+
+    Takes the per-key advisory lock, re-checks the cache, computes on a
+    genuine miss and publishes the entry *before* returning — so a run
+    killed after this returns can always resume from the cache, and two
+    concurrent runners sharing ``cache_dir`` compute each key exactly
+    once.  Returns an envelope ``{"payload", "cache_hit", "key"}``; all
+    arguments are JSON-safe so the enclosing ``TaskSpec`` stays
+    cache-keyable and picklable.
+    """
+    from repro.runtime.cache import ResultCache
+
+    cache = ResultCache(cache_dir, fingerprint=fingerprint)
+    key = cache.key(exp_id, kwargs)
+    payload, hit = cache.get_or_compute(
+        key,
+        lambda: execute_experiment(exp_id, kwargs),
+        meta={"experiment": exp_id, "seed": dict(kwargs).get("seed")},
+        refresh=refresh,
+    )
+    return {"payload": payload, "cache_hit": hit, "key": key}

@@ -8,12 +8,22 @@ Runs the requested experiments (all of them by default) on top of the
 * Results are memoized in a content-addressed cache keyed on the
   experiment id, its kwargs (seed included) and a fingerprint of the
   ``repro`` source tree — re-runs with unchanged inputs are near-instant.
-  ``--no-cache`` forces recomputation.
-* ``--trace FILE`` writes structured JSONL telemetry (one span per task
-  with wall time, cache hit/miss, retries, peak RSS) and prints a digest.
+  Workers publish entries under a per-key advisory lock *as they
+  finish*, so concurrent runs sharing a cache compute each key exactly
+  once and a killed run keeps everything it completed.  ``--no-cache``
+  forces recomputation.
 * ``--out DIR`` writes reports/CSV/SVG into a per-run stamped
   subdirectory (``DIR/run-<UTC>-seed<seed>[...]``) with a ``DIR/latest``
-  symlink, so successive runs never overwrite each other.
+  symlink, plus an append-only ``journal.jsonl`` recording each task
+  outcome the moment it lands.
+* ``--resume RUN_DIR`` re-opens a crashed run: the journal's seed/quick
+  /ids are adopted, tasks already journaled ``ok`` are served from the
+  cache, and only the remainder re-executes.
+* ``--chaos SEED[:SPEC]`` injects seeded, replayable faults (raise,
+  hang, corrupt, exit) into task attempts — the failure drills of
+  docs/ROBUSTNESS.md.
+* ``--trace FILE`` writes structured JSONL telemetry (one span per task
+  with wall time, cache hit/miss, retries, peak RSS) and prints a digest.
 * One failed experiment no longer aborts the batch: the failure is
   reported, the rest complete, and the exit code is nonzero (1).  Claim
   misses exit 2 unless ``--no-fail-on-miss`` is given.
@@ -27,8 +37,18 @@ import sys
 import time
 from typing import Any, Dict, List, Optional
 
-from repro.experiments.registry import REGISTRY, build_kwargs, execute_experiment
-from repro.runtime import DagExecutor, ResultCache, TaskSpec, Telemetry
+from repro.experiments.registry import REGISTRY, build_kwargs, execute_experiment_cached
+from repro.runtime import (
+    JOURNAL_NAME,
+    DagExecutor,
+    ResultCache,
+    RunJournal,
+    TaskResult,
+    TaskSpec,
+    Telemetry,
+    parse_chaos_spec,
+)
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["main"]
 
@@ -69,19 +89,29 @@ def _prepare_run_dir(out_dir: str, *, seed: int, quick: bool) -> str:
             os.remove(link)
         os.symlink(os.path.basename(run_dir), link, target_is_directory=True)
     except OSError:  # filesystems without symlink support
-        with open(os.path.join(out_dir, "LATEST"), "w", encoding="utf-8") as fh:
-            fh.write(os.path.basename(run_dir) + "\n")
+        atomic_write_text(os.path.join(out_dir, "LATEST"), os.path.basename(run_dir) + "\n")
     return run_dir
 
 
 def _write_outputs(run_dir: str, exp_id: str, payload: Dict[str, Any]) -> None:
-    with open(os.path.join(run_dir, f"{exp_id}.txt"), "w", encoding="utf-8") as fh:
-        fh.write(payload["report"] + "\n")
+    atomic_write_text(os.path.join(run_dir, f"{exp_id}.txt"), payload["report"] + "\n")
     artifacts = payload.get("artifacts") or {}
     for ext in ("csv", "svg"):
         if ext in artifacts:
-            with open(os.path.join(run_dir, f"{exp_id}.{ext}"), "w", encoding="utf-8") as fh:
-                fh.write(artifacts[ext])
+            atomic_write_text(os.path.join(run_dir, f"{exp_id}.{ext}"), artifacts[ext])
+
+
+def _valid_envelope(value: Any) -> bool:
+    """Does a worker's return value look like a real result envelope?
+
+    A ``corrupt``-kind chaos fault (or a genuinely buggy worker) returns
+    garbage *successfully*; this validation is the layer that catches it.
+    """
+    return (
+        isinstance(value, dict)
+        and isinstance(value.get("payload"), dict)
+        and isinstance(value["payload"].get("report"), str)
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -139,6 +169,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="retries per experiment after a failure (default 0)",
     )
     parser.add_argument(
+        "--chaos",
+        metavar="SEED[:SPEC]",
+        default=None,
+        help=(
+            "inject seeded, replayable faults; SPEC is ';'-separated rules of "
+            "comma-separated key=value fields (match, kind, p, max_hits, hang_s, "
+            "exit_code) with MATCH=KIND shorthand, e.g. 7:table*=raise,p=0.5"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="RUN_DIR",
+        default=None,
+        help="resume a crashed run from its journal, re-executing only unfinished tasks",
+    )
+    parser.add_argument(
         "--fail-on-miss",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -162,6 +208,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
+    fault_plan = None
+    if args.chaos:
+        try:
+            fault_plan = parse_chaos_spec(args.chaos)
+        except ValueError as exc:
+            parser.error(f"--chaos: {exc}")
+
+    run_dir: Optional[str] = None
+    journaled_ok: Dict[str, Dict[str, Any]] = {}
+    if args.resume:
+        if args.out:
+            parser.error("--resume reuses the original run directory; drop --out")
+        run_dir = args.resume
+        if not os.path.isdir(run_dir):
+            parser.error(f"--resume: {run_dir} is not a run directory")
+        meta, entries = RunJournal.load(os.path.join(run_dir, JOURNAL_NAME))
+        journaled_ok = {t: e for t, e in entries.items() if e.get("status") == "ok"}
+        # The journal's meta pins what the crashed run was computing;
+        # explicit ids on the command line still narrow the resume.
+        if "seed" in meta:
+            args.seed = int(meta["seed"])
+        if "quick" in meta:
+            args.quick = bool(meta["quick"])
+        if not args.ids and isinstance(meta.get("ids"), list):
+            args.ids = [str(i) for i in meta["ids"]]
+
     ids = args.ids or list(REGISTRY)
     unknown = [i for i in ids if i not in REGISTRY]
     if unknown:
@@ -175,72 +247,129 @@ def main(argv: Optional[List[str]] = None) -> int:
         for exp_id in ids
     }
 
+    if run_dir is None and args.out:
+        run_dir = _prepare_run_dir(args.out, seed=args.seed, quick=args.quick)
+    journal = RunJournal(os.path.join(run_dir, JOURNAL_NAME)) if run_dir else None
+    if journal is not None and not args.resume:
+        journal.meta(seed=args.seed, quick=args.quick, ids=list(ids))
+
     cache = ResultCache(args.cache_dir)
     keys = {exp_id: cache.key(exp_id, per_exp_kwargs[exp_id]) for exp_id in ids}
     payloads: Dict[str, Dict[str, Any]] = {}
     if not args.no_cache:
         for exp_id in ids:
             hit = cache.get(keys[exp_id])
+            if hit is None and exp_id in journaled_ok:
+                # The source changed between crash and resume: fall back
+                # to the key the journal recorded for the completed task.
+                old_key = journaled_ok[exp_id].get("key")
+                if old_key and old_key != keys[exp_id]:
+                    hit = cache.get(old_key)
             if hit is not None:
                 payloads[exp_id] = hit
+                if journal is not None:
+                    journal.record(exp_id, status="ok", key=keys[exp_id])
+            elif exp_id in journaled_ok:
+                print(f"[resume] {exp_id}: journaled ok but cache entry missing; recomputing")
 
     misses = [exp_id for exp_id in ids if exp_id not in payloads]
+    if args.resume:
+        print(
+            f"Resuming {run_dir}: {len(ids) - len(misses)} of {len(ids)} task(s) "
+            f"already complete, {len(misses)} to run"
+        )
+
+    def on_result(result: TaskResult) -> None:
+        # Journal every terminal outcome the instant it lands — this is
+        # what makes a kill -9 at any point resumable.
+        if journal is None:
+            return
+        status = result.status.value
+        key = keys.get(result.id)
+        if result.ok:
+            if _valid_envelope(result.value):
+                key = result.value.get("key") or key
+            else:
+                status = "corrupt"
+        journal.record(
+            result.id, status=status, key=key, attempts=result.attempts, wall_s=result.wall_s
+        )
+
     tasks = [
         TaskSpec(
             id=exp_id,
-            fn=execute_experiment,
-            kwargs={"exp_id": exp_id, "kwargs": per_exp_kwargs[exp_id]},
+            fn=execute_experiment_cached,
+            kwargs={
+                "exp_id": exp_id,
+                "kwargs": per_exp_kwargs[exp_id],
+                "cache_dir": args.cache_dir,
+                "fingerprint": cache.fingerprint,
+                "refresh": bool(args.no_cache),
+            },
             timeout=args.timeout if args.timeout is not None else REGISTRY[exp_id].timeout_s,
             retries=args.retries,
         )
         for exp_id in misses
     ]
-    executor = DagExecutor(jobs=args.jobs, telemetry=telemetry)
+    executor = DagExecutor(
+        jobs=args.jobs, telemetry=telemetry, fault_plan=fault_plan, on_result=on_result
+    )
     results = executor.run(tasks)
+
+    envelopes: Dict[str, Dict[str, Any]] = {}
+    corrupt: set = set()
     for exp_id in misses:
         result = results[exp_id]
-        if result.ok:
-            payloads[exp_id] = result.value
-            cache.put(
-                keys[exp_id],
-                result.value,
-                meta={"seed": args.seed, "quick": args.quick, "wall_s": result.wall_s},
-            )
+        if not result.ok:
+            continue
+        if _valid_envelope(result.value):
+            envelopes[exp_id] = result.value
+            payloads[exp_id] = result.value["payload"]
+        else:
+            corrupt.add(exp_id)
 
-    run_dir = _prepare_run_dir(args.out, seed=args.seed, quick=args.quick) if args.out else None
     task_failures = 0
     claim_misses = 0
+    worker_hits = 0
     scorecard = []
     for exp_id in ids:
         payload = payloads.get(exp_id)
         if payload is None:
             result = results[exp_id]
             task_failures += 1
+            status = "corrupt" if exp_id in corrupt else result.status.value
+            error = (
+                "worker returned an invalid result payload"
+                if exp_id in corrupt
+                else result.error
+            )
             telemetry.span(
                 exp_id,
-                status=result.status.value,
+                status=status,
                 wall_s=result.wall_s,
                 cache_hit=False,
                 retries=max(0, result.attempts - 1),
                 peak_rss_kb=result.peak_rss_kb,
             )
-            print(f"=== {exp_id}: {result.status.value.upper()} ===")
-            print(f"[{exp_id} {result.status.value}: {result.error}]\n")
+            print(f"=== {exp_id}: {status.upper()} ===")
+            print(f"[{exp_id} {status}: {error}]\n")
             continue
         cached = exp_id not in results
         result = None if cached else results[exp_id]
+        worker_hit = False if cached else bool(envelopes[exp_id].get("cache_hit"))
+        worker_hits += worker_hit
         wall = 0.0 if cached else result.wall_s
         telemetry.span(
             exp_id,
             status="ok",
             wall_s=wall,
-            cache_hit=cached,
+            cache_hit=cached or worker_hit,
             retries=0 if cached else max(0, result.attempts - 1),
             peak_rss_kb=None if cached else result.peak_rss_kb,
             compute_s=payload.get("compute_s"),
         )
         print(payload["report"])
-        if cached:
+        if cached or worker_hit:
             print(f"[{exp_id} cached; originally computed in {payload.get('compute_s', 0):.1f}s]\n")
         else:
             print(f"[{exp_id} finished in {wall:.1f}s]\n")
@@ -251,7 +380,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if run_dir:
             _write_outputs(run_dir, exp_id, payload)
 
-    hits = sum(1 for exp_id in ids if exp_id in payloads and exp_id not in results)
+    hits = sum(1 for exp_id in ids if exp_id in payloads and exp_id not in results) + worker_hits
     telemetry.metric("cache_hits", hits)
     telemetry.metric("cache_misses", len(ids) - hits)
     telemetry.metric("task_failures", task_failures)
@@ -300,8 +429,7 @@ def _write_scorecard(path: str, scorecard, *, seed: int, quick: bool) -> None:
             )
     lines.append("")
     lines.append(f"**{held}/{total} claims hold.**")
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write("\n".join(lines) + "\n")
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ from repro.lint.config import LintConfig, LintConfigError, find_pyproject, load_
 from repro.lint.engine import lint_paths
 from repro.lint.findings import Finding
 from repro.lint.rules import ALL_RULES, KNOWN_CODES
+from repro.util.atomicio import atomic_write_text
 
 __all__ = ["main"]
 
@@ -143,7 +144,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         out = Path(args.output)
         if out.parent != Path(""):
             out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(report + "\n", encoding="utf-8")
+        atomic_write_text(out, report + "\n")
         print(_summary_line(findings, scanned), file=sys.stderr)
     else:
         print(report)

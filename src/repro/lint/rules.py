@@ -16,6 +16,7 @@ REP003    wall clock / OS entropy reads in library code
 REP004    cache-unsafe callables or kwargs handed to the runtime
 REP005    bare float equality outside ``assert``
 REP006    mutable default arguments
+REP007    non-atomic ``open(..., "w")`` writes in library code
 ========  ============================================================
 """
 
@@ -37,6 +38,7 @@ __all__ = [
     "CacheSafetyRule",
     "FloatEqualityRule",
     "MutableDefaultRule",
+    "NonAtomicWriteRule",
     "ALL_RULES",
     "RULES_BY_CODE",
     "KNOWN_CODES",
@@ -418,6 +420,97 @@ class MutableDefaultRule(Rule):
                 )
 
 
+class NonAtomicWriteRule(Rule):
+    """REP007: non-atomic truncating writes in library code.
+
+    ``open(path, "w")`` truncates in place: a crash (or a concurrent
+    reader) between the truncate and the final flush observes a torn
+    file, and every file the runtime may read back — cache entries,
+    journals, reports, traces — must never be torn.  Library writers
+    must write to a temp file in the same directory and ``os.replace``
+    it into place; :func:`repro.util.atomicio.atomic_write_text` is the
+    sanctioned helper.  A scope that calls ``os.replace``/``os.rename``
+    (or a ``.replace(...)``/``.rename(...)`` method) is implementing
+    exactly that idiom, so its writes pass.  Append-mode journals
+    (``"a"``) are fine: appends never destroy prior records.  Tests are
+    excluded by default (their tmp-dir fixtures have no torn-read
+    window worth the ceremony).
+    """
+
+    code = "REP007"
+    name = "non-atomic-write"
+    severity = Severity.ERROR
+    node_types = (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)
+    rationale = "Truncating writes torn by a crash leave half-written files for later reads."
+
+    _OPEN_NAMES: FrozenSet[str] = frozenset({"open", "builtins.open", "io.open"})
+    _ATOMIC_CALLS: FrozenSet[str] = frozenset({"os.replace", "os.rename"})
+    _ATOMIC_METHODS: FrozenSet[str] = frozenset({"replace", "rename"})
+
+    @staticmethod
+    def _scope_nodes(root: ast.AST):
+        """Nodes lexically inside *root*, not descending into nested defs
+        (each function scope gets its own dispatch)."""
+        stack = list(ast.iter_child_nodes(root))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> Optional[str]:
+        """The mode literal when this ``open`` call truncates, else None."""
+        mode: Optional[ast.expr] = None
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if mode is None and len(node.args) > 1:
+            mode = node.args[1]
+        if (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and mode.value.startswith("w")
+        ):
+            return mode.value
+        return None
+
+    def _is_open(self, ctx: "ModuleContext", node: ast.Call) -> bool:
+        name = _call_name(ctx, node)
+        if name is not None:
+            return name in self._OPEN_NAMES
+        return isinstance(node.func, ast.Name) and node.func.id == "open"
+
+    def visit(self, ctx: "ModuleContext", node: ast.AST) -> None:
+        writes = []
+        atomic = False
+        for child in self._scope_nodes(node):
+            if not isinstance(child, ast.Call):
+                continue
+            name = _call_name(ctx, child)
+            if name in self._ATOMIC_CALLS:
+                atomic = True
+            elif isinstance(child.func, ast.Attribute):
+                if child.func.attr in self._ATOMIC_METHODS:
+                    atomic = True
+                elif child.func.attr == "write_text":
+                    writes.append((child, ".write_text(...)"))
+            if self._is_open(ctx, child):
+                mode = self._write_mode(child)
+                if mode is not None:
+                    writes.append((child, f"open(..., {mode!r})"))
+        if atomic:
+            return
+        for call, label in writes:
+            ctx.report(
+                call,
+                self,
+                f"non-atomic {label} truncates in place and can be torn by a crash; "
+                "write via repro.util.atomicio.atomic_write_text (tempfile + os.replace)",
+            )
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     GlobalRngRule(),
     UnseededGeneratorRule(),
@@ -425,6 +518,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     CacheSafetyRule(),
     FloatEqualityRule(),
     MutableDefaultRule(),
+    NonAtomicWriteRule(),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -9,29 +9,45 @@ past a serial for-loop while staying byte-for-byte reproducible:
   experiment is reported, the rest of the batch completes);
 * :mod:`repro.runtime.cache` / :mod:`repro.runtime.fingerprint` — a
   content-addressed result cache keyed on ``(experiment id, kwargs,
-  code fingerprint)`` so unchanged re-runs are near-instant;
+  code fingerprint)``, checksummed on read, with advisory per-key locks
+  so concurrent runs compute each key exactly once;
 * :mod:`repro.runtime.telemetry` — structured JSONL spans/metrics
-  (wall time, cache hit/miss, retries, peak RSS) behind ``--trace``.
+  (wall time, cache hit/miss, retries, peak RSS) behind ``--trace``;
+* :mod:`repro.runtime.faults` — seeded, replayable fault injection
+  (``--chaos``) for exercising the failure paths on purpose;
+* :mod:`repro.runtime.journal` — the append-only crash journal that
+  backs ``--resume``.
 
 The layer is deliberately generic: it knows nothing about Co-plots or
-workload models, only picklable callables — see docs/RUNTIME.md.
+workload models, only picklable callables — see docs/RUNTIME.md and
+docs/ROBUSTNESS.md.
 """
 
-from repro.runtime.cache import ResultCache, cache_key
+from repro.runtime.cache import CacheKeyError, ResultCache, cache_key, canonical_json
 from repro.runtime.executor import DagExecutor
+from repro.runtime.faults import FaultPlan, FaultRule, InjectedFault, parse_chaos_spec
 from repro.runtime.fingerprint import code_fingerprint, tree_fingerprint
+from repro.runtime.journal import JOURNAL_NAME, RunJournal
 from repro.runtime.task import TaskResult, TaskSpec, TaskStatus, toposort
 from repro.runtime.telemetry import Telemetry, summarize
 
 __all__ = [
+    "CacheKeyError",
     "DagExecutor",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "JOURNAL_NAME",
     "ResultCache",
+    "RunJournal",
     "TaskResult",
     "TaskSpec",
     "TaskStatus",
     "Telemetry",
     "cache_key",
+    "canonical_json",
     "code_fingerprint",
+    "parse_chaos_spec",
     "summarize",
     "toposort",
     "tree_fingerprint",

@@ -1,0 +1,30 @@
+"""``python -m repro.runtime`` — runtime maintenance commands.
+
+Currently a thin dispatcher over ``repro.runtime.cache``::
+
+    python -m repro.runtime cache verify [--quarantine] [--cache-dir DIR]
+    python -m repro.runtime cache prune [--corrupt] [--cache-dir DIR]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.runtime import cache as cache_cli
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in {"-h", "--help"}:
+        print(__doc__.strip())
+        return 0 if args else 2
+    topic, rest = args[0], args[1:]
+    if topic == "cache":
+        return cache_cli.main(rest)
+    print(f"unknown repro.runtime command {topic!r}; known: cache", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,24 @@ Failure semantics (both modes):
   In process mode the worker is killed and the pool rebuilt (in-flight
   survivors are resubmitted without consuming a retry); inline mode
   cannot preempt, so the attempt is detected as late *after* it returns
-  and its value is discarded.
+  and its value is discarded;
+* a worker process that *dies* (segfault, ``os._exit``, OOM kill)
+  breaks the pool: the attempts lost with it are charged a retry, the
+  pool is rebuilt (a ``pool_rebuild`` telemetry event records why) and
+  the batch continues.
+
+Failed attempts report the wall time measured *inside* the worker, not
+time-in-queue — an attempt that raised after 0.2s on a saturated pool
+is billed 0.2s, no matter how long it waited for a worker slot.
+
+Chaos hooks: pass ``fault_plan`` (a
+:class:`~repro.runtime.faults.FaultPlan`) and the executor consults it
+once per (task, attempt) at submission time, wrapping the task function
+with the armed fault and emitting a ``fault_injected`` telemetry event.
+Decisions are a pure function of the plan seed, so serial and pool runs
+inject identically.  Pass ``on_result`` to observe every terminal
+:class:`TaskResult` (including skips) the moment it is recorded — the
+runner's crash-safe journal hangs off this hook.
 
 The executor never raises on task failure; inspect the returned
 ``TaskResult`` map instead.
@@ -29,8 +46,10 @@ import random
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.runtime.faults import FaultPlan
 from repro.runtime.task import TaskResult, TaskSpec, TaskStatus, toposort
 from repro.runtime.telemetry import Telemetry
 
@@ -49,11 +68,23 @@ def _peak_rss_kb() -> Optional[int]:
         return None
 
 
-def _run_attempt(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> Tuple[Any, float, Optional[int]]:
-    """Worker-side wrapper: run one attempt, report wall time and peak RSS."""
+def _run_attempt(
+    fn: Callable[..., Any], kwargs: Dict[str, Any]
+) -> Tuple[bool, Any, float, Optional[int]]:
+    """Worker-side wrapper: run one attempt, report wall time and peak RSS.
+
+    Returns ``(True, value, wall, rss)`` on success and
+    ``(False, "ExcType: message", wall, rss)`` on failure — errors travel
+    back as values so a failed attempt is billed the wall time it spent
+    *in the function*, not the time its future spent queued.
+    """
     start = time.perf_counter()
-    value = fn(**kwargs)
-    return value, time.perf_counter() - start, _peak_rss_kb()
+    try:
+        value = fn(**kwargs)
+    except Exception as exc:
+        wall = time.perf_counter() - start
+        return False, f"{type(exc).__name__}: {exc}", wall, _peak_rss_kb()
+    return True, value, time.perf_counter() - start, _peak_rss_kb()
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -80,6 +111,8 @@ class DagExecutor:
         backoff_base_s: float = 0.25,
         backoff_cap_s: float = 8.0,
         sleep: Callable[[float], None] = time.sleep,
+        fault_plan: Optional[FaultPlan] = None,
+        on_result: Optional[Callable[[TaskResult], None]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -88,6 +121,9 @@ class DagExecutor:
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
         self._sleep = sleep
+        self.fault_plan = fault_plan
+        self.on_result = on_result
+        self._fault_counts: Dict[str, int] = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -97,6 +133,7 @@ class DagExecutor:
         ordered = toposort(tasks)
         if not ordered:
             return {}
+        self._fault_counts = {}
         if self.jobs == 1:
             return self._run_serial(ordered)
         return self._run_pool(ordered)
@@ -113,6 +150,34 @@ class DagExecutor:
         if self.telemetry is not None:
             self.telemetry.event(kind, **fields)
 
+    def _notify(self, result: TaskResult) -> None:
+        """Deliver a terminal result to the ``on_result`` observer."""
+        result.faults = self._fault_counts.get(result.id, 0)
+        if self.on_result is not None:
+            self.on_result(result)
+
+    def _arm(self, task: TaskSpec, attempt: int) -> Callable[..., Any]:
+        """The callable for this attempt, fault-wrapped when the plan fires.
+
+        Consulted exactly once per (task, attempt), at submission — the
+        decision is order-free, so serial and pool schedules inject the
+        same faults for the same plan seed.
+        """
+        if self.fault_plan is None:
+            return task.fn
+        armed = self.fault_plan.arm(task.id, attempt)
+        if armed is None:
+            return task.fn
+        self._fault_counts[task.id] = self._fault_counts.get(task.id, 0) + 1
+        self._event(
+            "fault_injected",
+            task=task.id,
+            attempt=attempt,
+            fault=armed.kind,
+            rule=armed.rule,
+        )
+        return armed.wrap(task.fn)
+
     @staticmethod
     def _children(tasks: Sequence[TaskSpec]) -> Dict[str, List[TaskSpec]]:
         children: Dict[str, List[TaskSpec]] = {t.id: [] for t in tasks}
@@ -121,8 +186,8 @@ class DagExecutor:
                 children[dep].append(task)
         return children
 
-    @staticmethod
     def _skip_dependents(
+        self,
         task_id: str,
         children: Dict[str, List[TaskSpec]],
         results: Dict[str, TaskResult],
@@ -137,6 +202,7 @@ class DagExecutor:
                 status=TaskStatus.SKIPPED,
                 error=f"dependency {task_id!r} did not succeed",
             )
+            self._notify(results[child.id])
             queue.extend(children[child.id])
 
     # -- serial (inline) mode ----------------------------------------------
@@ -148,6 +214,7 @@ class DagExecutor:
             if task.id in results:  # already skipped via a failed dependency
                 continue
             results[task.id] = self._attempt_serial(task)
+            self._notify(results[task.id])
             if not results[task.id].ok:
                 self._skip_dependents(task.id, children, results)
         return results
@@ -156,13 +223,9 @@ class DagExecutor:
         attempt = 0
         while True:
             attempt += 1
-            start = time.perf_counter()
-            try:
-                value, wall, rss = _run_attempt(task.fn, dict(task.kwargs))
-            except Exception as exc:
-                wall = time.perf_counter() - start
-                status, error = TaskStatus.FAILED, f"{type(exc).__name__}: {exc}"
-            else:
+            fn = self._arm(task, attempt)
+            ok, value, wall, rss = _run_attempt(fn, dict(task.kwargs))
+            if ok:
                 if task.timeout is not None and wall > task.timeout:
                     # Inline mode cannot preempt: report the late attempt as
                     # a timeout and discard its value for parity with the
@@ -177,6 +240,8 @@ class DagExecutor:
                         wall_s=wall,
                         peak_rss_kb=rss,
                     )
+            else:
+                status, error = TaskStatus.FAILED, value
             if attempt <= task.retries:
                 delay = self._backoff_delay(task, attempt)
                 self._event("retry", task=task.id, attempt=attempt, delay_s=round(delay, 4), error=error)
@@ -197,6 +262,7 @@ class DagExecutor:
 
         def finish(task: TaskSpec, result: TaskResult) -> None:
             results[task.id] = result
+            self._notify(result)
             if result.ok:
                 for child in children[task.id]:
                     pending_deps[child.id].discard(task.id)
@@ -224,7 +290,8 @@ class DagExecutor:
 
                 while ready and len(in_flight) < self.jobs:
                     task, attempt = ready.popleft()
-                    future = pool.submit(_run_attempt, task.fn, dict(task.kwargs))
+                    fn = self._arm(task, attempt)
+                    future = pool.submit(_run_attempt, fn, dict(task.kwargs))
                     deadline = now + task.timeout if task.timeout is not None else None
                     in_flight[future] = (task, attempt, now, deadline)
 
@@ -234,25 +301,57 @@ class DagExecutor:
                     continue
 
                 done, _ = wait(list(in_flight), timeout=_TICK_S, return_when=FIRST_COMPLETED)
+                broken = False
                 for future in done:
                     task, attempt, started, _deadline = in_flight.pop(future)
                     try:
-                        value, wall, rss = future.result()
-                    except Exception as exc:
-                        wall = time.monotonic() - started
-                        fail_or_retry(task, attempt, TaskStatus.FAILED, f"{type(exc).__name__}: {exc}", wall)
-                    else:
-                        finish(
+                        ok, value, wall, rss = future.result()
+                    except BrokenProcessPool:
+                        # The worker running (or queued to run) this attempt
+                        # died mid-flight; the attempt is charged, the pool is
+                        # rebuilt below.
+                        broken = True
+                        fail_or_retry(
                             task,
-                            TaskResult(
-                                id=task.id,
-                                status=TaskStatus.OK,
-                                value=value,
-                                attempts=attempt,
-                                wall_s=wall,
-                                peak_rss_kb=rss,
-                            ),
+                            attempt,
+                            TaskStatus.FAILED,
+                            "worker process died (broken pool)",
+                            time.monotonic() - started,
                         )
+                    except Exception as exc:  # pragma: no cover - pickling etc.
+                        fail_or_retry(
+                            task,
+                            attempt,
+                            TaskStatus.FAILED,
+                            f"{type(exc).__name__}: {exc}",
+                            time.monotonic() - started,
+                        )
+                    else:
+                        if ok:
+                            finish(
+                                task,
+                                TaskResult(
+                                    id=task.id,
+                                    status=TaskStatus.OK,
+                                    value=value,
+                                    attempts=attempt,
+                                    wall_s=wall,
+                                    peak_rss_kb=rss,
+                                ),
+                            )
+                        else:
+                            # Worker-side wall time: queue wait is not billed.
+                            fail_or_retry(task, attempt, TaskStatus.FAILED, value, wall)
+
+                if broken:
+                    survivors = list(in_flight.values())
+                    in_flight.clear()
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=self.jobs)
+                    self._event("pool_rebuild", reason="broken", resubmitted=len(survivors))
+                    for task, attempt, _started, _dl in survivors:
+                        ready.appendleft((task, attempt))
+                    continue
 
                 now = time.monotonic()
                 expired = [f for f, (_t, _a, _s, dl) in in_flight.items() if dl is not None and now > dl]
@@ -265,6 +364,7 @@ class DagExecutor:
                     # without charging their retry budget.
                     _kill_pool(pool)
                     pool = ProcessPoolExecutor(max_workers=self.jobs)
+                    self._event("pool_rebuild", reason="timeout", resubmitted=len(survivors))
                     for task, attempt, _started, _dl in survivors:
                         ready.appendleft((task, attempt))
                     for task, attempt, started, _dl in victims:

@@ -1,0 +1,101 @@
+"""Crash-safe run journal: append-only JSONL of task outcomes.
+
+The runner writes one ``journal.jsonl`` into each stamped run
+directory: a ``meta`` record first (seed, quick flag, experiment ids),
+then one ``task`` record per terminal task outcome, appended *as each
+task finishes* — so a run killed at any instant leaves a journal that
+names exactly what completed.  ``--resume <run-dir>`` reloads it and
+re-executes only tasks not recorded ``ok``.
+
+Records are single JSON lines flushed and fsynced on write; a crash can
+tear at most the final line, and :meth:`RunJournal.load` skips any line
+that does not decode rather than failing the resume.  Appends never
+rewrite earlier records, so the journal doubles as a run audit trail —
+later records for the same task supersede earlier ones (a retry after
+``--resume``, for example).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+__all__ = ["JOURNAL_NAME", "RunJournal"]
+
+#: File name of the journal inside a run directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+class RunJournal:
+    """Append-only journal of one run's task outcomes."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True)
+        # Append mode: single short lines, flushed and fsynced, so a
+        # SIGKILL between tasks never loses a completed record and can
+        # tear at most the line being written.
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def meta(self, **fields: Any) -> None:
+        """Record run-level metadata (seed, quick, ids) for ``--resume``."""
+        self._append({"type": "meta", **fields})
+
+    def record(
+        self,
+        task: str,
+        *,
+        status: str,
+        key: Optional[str] = None,
+        attempts: int = 0,
+        wall_s: float = 0.0,
+    ) -> None:
+        """Record one terminal task outcome."""
+        self._append(
+            {
+                "type": "task",
+                "task": task,
+                "status": status,
+                "key": key,
+                "attempts": attempts,
+                "wall_s": round(wall_s, 6),
+            }
+        )
+
+    @staticmethod
+    def load(path: Union[str, os.PathLike]) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
+        """Read a journal back as ``(meta, entries)``.
+
+        ``entries`` maps each task id to its *latest* record.  A missing
+        file yields ``({}, {})``; undecodable (torn) lines are skipped.
+        """
+        meta: Dict[str, Any] = {}
+        entries: Dict[str, Dict[str, Any]] = {}
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return meta, entries
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail line from a crash mid-append
+            if not isinstance(record, dict):
+                continue
+            if record.get("type") == "meta":
+                meta.update({k: v for k, v in record.items() if k != "type"})
+            elif record.get("type") == "task" and isinstance(record.get("task"), str):
+                entries[record["task"]] = record
+        return meta, entries

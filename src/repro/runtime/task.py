@@ -63,6 +63,7 @@ class TaskResult:
     attempts: int = 0
     wall_s: float = 0.0
     peak_rss_kb: Optional[int] = None
+    faults: int = 0  #: chaos faults injected into this task's attempts
 
     @property
     def ok(self) -> bool:

@@ -17,6 +17,8 @@ import json
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.util.atomicio import atomic_write_text
+
 __all__ = ["Telemetry", "summarize"]
 
 #: Bump when the record schema changes incompatibly.
@@ -75,9 +77,8 @@ class Telemetry:
     def write(self, path: str) -> None:
         """Persist all records as JSON Lines, prefixed by a header record."""
         header = {"type": "header", "schema": TRACE_SCHEMA_VERSION, "ts": round(self._clock(), 6)}
-        with open(path, "w", encoding="utf-8") as fh:
-            for rec in [header, *self.records]:
-                fh.write(json.dumps(rec, sort_keys=True, default=str) + "\n")
+        lines = [json.dumps(rec, sort_keys=True, default=str) for rec in [header, *self.records]]
+        atomic_write_text(path, "\n".join(lines) + "\n")
 
     def summary(self) -> str:
         return summarize(self.spans)

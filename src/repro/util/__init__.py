@@ -4,6 +4,7 @@ These helpers are deliberately dependency-light; everything else in
 :mod:`repro` builds on them.
 """
 
+from repro.util.atomicio import atomic_write_text
 from repro.util.rng import as_generator, spawn_children
 from repro.util.tables import format_table, format_matrix
 from repro.util.validation import (
@@ -16,6 +17,7 @@ from repro.util.validation import (
 
 __all__ = [
     "as_generator",
+    "atomic_write_text",
     "spawn_children",
     "format_table",
     "format_matrix",

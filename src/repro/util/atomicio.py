@@ -1,0 +1,46 @@
+"""Atomic file writes: the tempfile + ``os.replace`` idiom, in one place.
+
+A plain ``open(path, "w")`` write torn by a crash (SIGKILL, power loss,
+full disk) leaves a half-written file behind that later reads will
+happily consume.  Every library writer that produces a file a later
+process may read — reports, scorecards, traces, SWF exports, cache
+entries — must instead write to a temporary file in the *same
+directory* and ``os.replace`` it into place, which POSIX guarantees to
+be atomic.  Lint rule REP007 enforces the idiom; this module is the
+sanctioned implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Union
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(
+    path: Union[str, os.PathLike],
+    text: str,
+    *,
+    encoding: str = "utf-8",
+) -> None:
+    """Write *text* to *path* atomically (tempfile + ``os.replace``).
+
+    Readers either see the old content or the complete new content,
+    never a torn intermediate state.  The temporary file lives next to
+    the target so the replace never crosses a filesystem boundary.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            fh.write(text)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -11,7 +11,7 @@ variables in :mod:`repro.workload.statistics`.
 from repro.workload.fields import SWF_FIELDS, SwfField, STATUS_COMPLETED, STATUS_FAILED, STATUS_CANCELLED
 from repro.workload.job import Job
 from repro.workload.workload import Workload, MachineInfo
-from repro.workload.swf import read_swf, write_swf, parse_swf_text, render_swf_text
+from repro.workload.swf import SwfParseError, read_swf, write_swf, parse_swf_text, render_swf_text
 from repro.workload.filters import (
     filter_jobs,
     split_interactive_batch,
@@ -53,6 +53,7 @@ __all__ = [
     "Job",
     "Workload",
     "MachineInfo",
+    "SwfParseError",
     "read_swf",
     "write_swf",
     "parse_swf_text",

@@ -11,20 +11,42 @@ Format, as defined by the Parallel Workloads Archive the paper announces:
 The reader tolerates records with fewer than 18 fields (some early archive
 conversions truncated trailing unknowns) by padding with ``-1``, and maps
 recognised header keys onto :class:`~repro.workload.workload.MachineInfo`.
+
+Malformed job lines are handled per the ``on_error`` policy: ``"raise"``
+(the default) fails fast on the first bad line, ``"skip"`` silently
+drops bad lines, and ``"quarantine"`` drops them *and* records each as a
+:class:`SwfParseError` on ``workload.parse_errors`` — which
+:func:`repro.workload.anomalies.audit_workload` folds into its report,
+so a dirty archive file shows up in the same audit as the paper's other
+log anomalies.
 """
 
 from __future__ import annotations
 
 import io
 import os
+from dataclasses import dataclass
 from typing import Dict, List, Optional, TextIO, Tuple, Union
 
 import numpy as np
 
+from repro.util.atomicio import atomic_write_text
 from repro.workload.fields import FIELD_NAMES, MISSING, SWF_FIELDS
 from repro.workload.workload import MachineInfo, Workload
 
-__all__ = ["read_swf", "write_swf", "parse_swf_text", "render_swf_text"]
+__all__ = ["SwfParseError", "read_swf", "write_swf", "parse_swf_text", "render_swf_text"]
+
+#: Accepted ``on_error`` policies for the SWF reader.
+_ON_ERROR_POLICIES = ("raise", "skip", "quarantine")
+
+
+@dataclass(frozen=True)
+class SwfParseError:
+    """One malformed SWF job line, kept for the anomaly audit."""
+
+    lineno: int
+    reason: str
+    line: str
 
 # Header keys we map onto MachineInfo; compared case-insensitively.
 _HEADER_PROCS = ("maxprocs", "maxnodes", "processors")
@@ -35,6 +57,7 @@ def parse_swf_text(
     *,
     name: Optional[str] = None,
     machine: Optional[MachineInfo] = None,
+    on_error: str = "raise",
 ) -> Workload:
     """Parse SWF content from a string.
 
@@ -49,9 +72,25 @@ def parse_swf_text(
         Overrides machine metadata inferred from the header.  Without a
         header ``MaxProcs`` line and without *machine*, the processor count
         falls back to the maximum observed job size.
+    on_error:
+        Malformed-line policy: ``"raise"`` (default) fails on the first
+        bad job line, ``"skip"`` drops bad lines, ``"quarantine"`` drops
+        them and records each on ``workload.parse_errors`` for the
+        anomaly audit.
     """
+    if on_error not in _ON_ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {', '.join(_ON_ERROR_POLICIES)}; got {on_error!r}"
+        )
     headers: Dict[str, str] = {}
     rows: List[List[float]] = []
+    errors: List[SwfParseError] = []
+
+    def bad_line(lineno: int, reason: str, line: str) -> None:
+        if on_error == "raise":
+            raise ValueError(f"line {lineno}: {reason}")
+        errors.append(SwfParseError(lineno=lineno, reason=reason, line=line))
+
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line:
@@ -64,13 +103,13 @@ def parse_swf_text(
             continue
         tokens = line.split()
         if len(tokens) > len(SWF_FIELDS):
-            raise ValueError(
-                f"line {lineno}: {len(tokens)} fields, SWF defines {len(SWF_FIELDS)}"
-            )
+            bad_line(lineno, f"{len(tokens)} fields, SWF defines {len(SWF_FIELDS)}", line)
+            continue
         try:
             values = [float(t) for t in tokens]
         except ValueError as exc:
-            raise ValueError(f"line {lineno}: non-numeric field ({exc})") from None
+            bad_line(lineno, f"non-numeric field ({exc})", line)
+            continue
         values.extend([float(MISSING)] * (len(SWF_FIELDS) - len(values)))
         rows.append(values)
 
@@ -97,7 +136,10 @@ def parse_swf_text(
         )
     if name is None:
         name = headers.get("computer", machine.name)
-    return Workload(columns, machine, name)
+    workload = Workload(columns, machine, name)
+    if on_error == "quarantine":
+        workload.parse_errors = tuple(errors)
+    return workload
 
 
 def read_swf(
@@ -105,24 +147,26 @@ def read_swf(
     *,
     name: Optional[str] = None,
     machine: Optional[MachineInfo] = None,
+    on_error: str = "raise",
 ) -> Workload:
     """Read a workload from an SWF file path or open text file.
 
     Gzip-compressed files are handled transparently (the Parallel
     Workloads Archive distributes its logs as ``.swf.gz``), detected by
-    the gzip magic bytes rather than the extension.
+    the gzip magic bytes rather than the extension.  *on_error* is the
+    malformed-line policy of :func:`parse_swf_text`.
     """
     if hasattr(path, "read"):
-        return parse_swf_text(path.read(), name=name, machine=machine)
+        return parse_swf_text(path.read(), name=name, machine=machine, on_error=on_error)
     with open(path, "rb") as raw:
         magic = raw.read(2)
     if magic == b"\x1f\x8b":
         import gzip
 
         with gzip.open(path, "rt", encoding="utf-8") as fh:
-            return parse_swf_text(fh.read(), name=name, machine=machine)
+            return parse_swf_text(fh.read(), name=name, machine=machine, on_error=on_error)
     with open(path, "r", encoding="utf-8") as fh:
-        return parse_swf_text(fh.read(), name=name, machine=machine)
+        return parse_swf_text(fh.read(), name=name, machine=machine, on_error=on_error)
 
 
 def render_swf_text(workload: Workload, *, headers: Optional[Dict[str, str]] = None) -> str:
@@ -167,5 +211,4 @@ def write_swf(
         with gzip.open(path, "wt", encoding="utf-8") as fh:
             fh.write(text)
         return
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(text)
+    atomic_write_text(path, text)

@@ -1,0 +1,139 @@
+"""Kill-and-resume drills for the experiments CLI.
+
+The headline test launches the CLI in a subprocess with a chaos ``exit``
+fault armed on the second task: the process dies mid-run exactly as a
+``kill -9`` would, then ``--resume`` reopens the journal and completes
+without recomputing what already landed in the cache.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.runner import EXIT_OK, EXIT_TASK_FAILURE, main
+from repro.runtime import JOURNAL_NAME, RunJournal
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def _run_cli(args, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestKillAndResume:
+    def test_killed_run_resumes_without_recomputing(self, tmp_path, cache_dir, capsys):
+        out_dir = str(tmp_path / "results")
+        # Serial run, figure2 first; the exit fault fires inside table2's
+        # attempt and takes the whole process down, exactly like kill -9.
+        proc = _run_cli(
+            [
+                "figure2",
+                "table2",
+                "--quick",
+                "--jobs",
+                "1",
+                "--out",
+                out_dir,
+                "--cache-dir",
+                cache_dir,
+                "--chaos",
+                "1:table2=exit",
+            ]
+        )
+        assert proc.returncode == 70, proc.stderr
+
+        run_dir = os.path.realpath(os.path.join(out_dir, "latest"))
+        _meta, entries = RunJournal.load(os.path.join(run_dir, JOURNAL_NAME))
+        assert entries.get("figure2", {}).get("status") == "ok"
+        assert entries.get("table2", {}).get("status") != "ok"
+
+        assert main(["--resume", run_dir, "--cache-dir", cache_dir]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "Resuming" in out
+        assert "1 of 2 task(s) already complete, 1 to run" in out
+        assert "[figure2 cached" in out, "resume must serve the journaled task from cache"
+        assert "Table 2" in out
+        for exp in ("figure2", "table2"):
+            assert os.path.exists(os.path.join(run_dir, f"{exp}.txt"))
+
+    def test_resume_adopts_journal_meta(self, tmp_path, cache_dir, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["figure2", "--quick", "--out", out_dir, "--cache-dir", cache_dir]) == EXIT_OK
+        run_dir = os.path.realpath(os.path.join(out_dir, "latest"))
+        capsys.readouterr()
+        # No ids given: the journal's meta supplies seed/quick/ids.
+        assert main(["--resume", run_dir, "--cache-dir", cache_dir]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "1 of 1 task(s) already complete, 0 to run" in out
+        assert "[figure2 cached" in out
+
+    def test_resume_recomputes_when_cache_entry_vanished(self, tmp_path, cache_dir, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["figure2", "--quick", "--out", out_dir, "--cache-dir", cache_dir]) == EXIT_OK
+        run_dir = os.path.realpath(os.path.join(out_dir, "latest"))
+        shutil.rmtree(cache_dir)  # e.g. an overeager prune between crash and resume
+        capsys.readouterr()
+        assert main(["--resume", run_dir, "--cache-dir", cache_dir]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "[resume] figure2: journaled ok but cache entry missing; recomputing" in out
+        assert "[figure2 finished in" in out
+
+    def test_resume_rejects_missing_run_dir(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--resume", str(tmp_path / "nope")])
+
+    def test_resume_rejects_out_flag(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        with pytest.raises(SystemExit):
+            main(["--resume", str(run_dir), "--out", str(tmp_path / "other")])
+
+
+class TestChaosCli:
+    def test_chaos_failure_sets_task_exit_code(self, cache_dir, capsys):
+        code = main(
+            ["figure2", "--quick", "--cache-dir", cache_dir, "--chaos", "5:figure2=raise"]
+        )
+        assert code == EXIT_TASK_FAILURE
+        out = capsys.readouterr().out
+        assert "figure2: FAILED" in out
+        assert "InjectedFault" in out
+
+    def test_chaos_with_retries_recovers(self, cache_dir, capsys):
+        code = main(
+            [
+                "figure2",
+                "--quick",
+                "--cache-dir",
+                cache_dir,
+                "--retries",
+                "2",
+                "--chaos",
+                "5:figure2=raise,max_hits=1",
+            ]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "[figure2 finished in" in out
+
+    def test_bad_chaos_spec_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["figure2", "--chaos", "7:kind=meteor"])

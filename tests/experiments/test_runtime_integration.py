@@ -31,6 +31,7 @@ def _read_artifacts(out_dir):
     return {
         name: open(os.path.join(latest, name), "rb").read()
         for name in sorted(os.listdir(latest))
+        if name != "journal.jsonl"  # audit trail: carries real wall times
     }
 
 

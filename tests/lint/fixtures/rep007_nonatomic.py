@@ -1,0 +1,6 @@
+"""Fixture: REP007 — non-atomic truncating write."""
+
+
+def save(path, text):
+    with open(path, "w") as fh:  # violation: torn file if killed mid-write
+        fh.write(text)

@@ -263,6 +263,91 @@ class TestRep006MutableDefault:
         assert codes("def f(a=None, b=(), c=0, d='x', e=frozenset()):\n    return a\n") == []
 
 
+class TestRep007NonAtomicWrite:
+    def test_truncating_open_flagged(self):
+        (f,) = findings(
+            """\
+            def save(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+            """
+        )
+        assert (f.line, f.col, f.code) == (2, 9, "REP007")
+        assert f.severity is Severity.ERROR
+        assert "atomic_write_text" in f.message
+
+    def test_module_level_write_flagged(self):
+        assert codes('open("state.json", "w").write("{}")\n') == ["REP007"]
+
+    def test_write_text_method_flagged(self):
+        assert codes(
+            """\
+            def save(path, text):
+                path.write_text(text)
+            """
+        ) == ["REP007"]
+
+    def test_mode_keyword_flagged(self):
+        assert codes('fh = open("x", mode="wt")\n') == ["REP007"]
+
+    def test_scope_with_os_replace_is_atomic_idiom(self):
+        assert codes(
+            """\
+            import os
+            def save(path, text):
+                with open(path + ".tmp", "w") as fh:
+                    fh.write(text)
+                os.replace(path + ".tmp", path)
+            """
+        ) == []
+
+    def test_rename_method_blesses_scope(self):
+        assert codes(
+            """\
+            def save(path, text):
+                tmp = path.with_suffix(".tmp")
+                tmp.write_text(text)
+                tmp.replace(path)
+            """
+        ) == []
+
+    def test_append_and_read_modes_clean(self):
+        # Appends never destroy prior records (journals depend on this).
+        assert codes(
+            """\
+            def log(path, line):
+                with open(path, "a") as fh:
+                    fh.write(line)
+                with open(path) as fh:
+                    return fh.read()
+            """
+        ) == []
+
+    def test_nested_function_scope_is_independent(self):
+        # The outer scope's os.replace must not bless the inner write.
+        assert codes(
+            """\
+            import os
+            def outer(path, text):
+                def inner():
+                    with open(path, "w") as fh:
+                        fh.write(text)
+                os.replace(path, path + ".bak")
+                return inner
+            """
+        ) == ["REP007"]
+
+    def test_non_builtin_open_not_flagged(self):
+        assert codes(
+            """\
+            import gzip
+            def save(path, text):
+                with gzip.open(path, "wt") as fh:
+                    fh.write(text)
+            """
+        ) == []
+
+
 class TestFindingShape:
     def test_findings_sort_by_location(self):
         result = findings(

@@ -1,0 +1,248 @@
+"""Cache hardening tests: strict keys, checksums, quarantine, locks, CLI.
+
+The multi-process contention test uses real OS processes (not the
+executor) against one shared cache directory — the scenario is two
+independent ``repro-experiments`` invocations racing on the same key.
+"""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.runtime.cache import (
+    CACHE_VERSION,
+    CacheKeyError,
+    ResultCache,
+    cache_key,
+    canonical_json,
+    main,
+    payload_checksum,
+)
+
+
+class TestStrictCanonicalization:
+    def test_canonical_json_is_sorted_and_minimal(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_non_encodable_key_raises(self):
+        with pytest.raises(CacheKeyError):
+            cache_key("exp", {"bad": object()}, "fp")
+
+    def test_non_encodable_kwarg_value_raises(self):
+        with pytest.raises(CacheKeyError):
+            cache_key("exp", {"s": {1, 2}}, "fp")
+
+    def test_nan_in_key_raises(self):
+        with pytest.raises(CacheKeyError):
+            cache_key("exp", {"x": float("nan")}, "fp")
+
+    def test_cache_key_error_is_a_type_error(self):
+        # Call sites that caught TypeError from json.dumps keep working.
+        assert issubclass(CacheKeyError, TypeError)
+
+    def test_put_rejects_non_encodable_payload(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("exp", {})
+        with pytest.raises(CacheKeyError):
+            cache.put(key, {"x": object()})
+        assert cache.get(key) is None
+
+    def test_put_normalizes_payload_like_a_reload(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("exp", {})
+        cache.put(key, {"t": (1, 2), "ok": True})
+        assert cache.get(key) == {"t": [1, 2], "ok": True}
+
+
+class TestChecksum:
+    def _entry(self, tmp_path, payload=None):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("exp", {"seed": 0})
+        cache.put(key, payload or {"report": "fine"})
+        return cache, key
+
+    def test_checksum_is_stored_and_verifies(self, tmp_path):
+        cache, key = self._entry(tmp_path)
+        entry = json.loads(cache.entry_path(key).read_text())
+        assert entry["checksum"] == payload_checksum(entry["payload"])
+        assert cache.verify_entry(cache.entry_path(key)) == "ok"
+
+    def test_bitflip_in_payload_is_detected(self, tmp_path):
+        cache, key = self._entry(tmp_path)
+        path = cache.entry_path(key)
+        entry = json.loads(path.read_text())
+        entry["payload"]["report"] = "fIne"  # silent corruption
+        path.write_text(canonical_json(entry, allow_nan=True))
+        assert cache.verify_entry(path) == "corrupt"
+        assert cache.get(key) is None
+        assert path.with_suffix(".corrupt").exists()
+        # Quarantined, not deleted: the damaged bytes survive for post-mortem.
+        assert not path.exists()
+
+    def test_recompute_after_quarantine_repopulates(self, tmp_path):
+        cache, key = self._entry(tmp_path)
+        path = cache.entry_path(key)
+        path.write_text("{ not json")
+        assert cache.get(key) is None
+        cache.put(key, {"report": "fresh"})
+        assert cache.get(key) == {"report": "fresh"}
+
+    def test_version_mismatch_is_plain_miss_without_quarantine(self, tmp_path):
+        cache, key = self._entry(tmp_path)
+        path = cache.entry_path(key)
+        entry = json.loads(path.read_text())
+        entry["version"] = CACHE_VERSION - 1
+        path.write_text(canonical_json(entry, allow_nan=True))
+        assert cache.get(key) is None
+        assert path.exists(), "well-formed old-format entry must not be quarantined"
+        assert not path.with_suffix(".corrupt").exists()
+
+
+class TestLock:
+    def test_lock_acquires_and_releases(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("exp", {})
+        with cache.lock(key) as acquired:
+            assert acquired is True
+        with cache.lock(key) as acquired:  # released: second take succeeds
+            assert acquired is True
+
+    def test_contended_lock_times_out_and_yields_false(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("exp", {})
+        with cache.lock(key) as outer:
+            assert outer is True
+            # A second handle (fresh fd, so flock really contends) gives
+            # up after the timeout instead of deadlocking.
+            start = time.monotonic()
+            with cache.lock(key, timeout=0.2, poll_s=0.02) as inner:
+                assert inner is False
+            assert time.monotonic() - start < 5.0
+
+    def test_lockfiles_are_never_unlinked_by_release(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("exp", {})
+        with cache.lock(key):
+            pass
+        assert cache.entry_path(key).with_suffix(".lock").exists()
+
+
+class TestGetOrCompute:
+    def test_computes_once_then_hits(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("exp", {})
+        calls = []
+        payload, hit = cache.get_or_compute(key, lambda: calls.append(1) or {"n": 1})
+        assert (payload, hit) == ({"n": 1}, False)
+        payload, hit = cache.get_or_compute(key, lambda: calls.append(1) or {"n": 2})
+        assert (payload, hit) == ({"n": 1}, True)
+        assert len(calls) == 1
+
+    def test_refresh_recomputes_and_republishes(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="fp")
+        key = cache.key("exp", {})
+        cache.put(key, {"n": 1})
+        payload, hit = cache.get_or_compute(key, lambda: {"n": 2}, refresh=True)
+        assert (payload, hit) == ({"n": 2}, False)
+        assert cache.get(key) == {"n": 2}
+
+
+def _contend(cache_dir, key, log_path, out_path):
+    """One racing runner: compute-once-or-read, then report what it saw."""
+    from repro.runtime.cache import ResultCache
+
+    cache = ResultCache(cache_dir, fingerprint="fp")
+
+    def compute():
+        with open(log_path, "a", encoding="utf-8") as fh:
+            fh.write("computed\n")
+        time.sleep(0.3)  # widen the race window: losers must wait, not recompute
+        return {"answer": 42}
+
+    payload, _hit = cache.get_or_compute(key, compute, lock_timeout=30.0)
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+
+
+class TestMultiProcessContention:
+    def test_concurrent_runners_compute_each_key_exactly_once(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        log_path = str(tmp_path / "computes.log")
+        key = ResultCache(cache_dir, fingerprint="fp").key("exp", {"seed": 0})
+        procs = [
+            multiprocessing.Process(
+                target=_contend,
+                args=(cache_dir, key, log_path, str(tmp_path / f"out{i}.json")),
+            )
+            for i in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        with open(log_path, encoding="utf-8") as fh:
+            computes = fh.readlines()
+        assert len(computes) == 1, f"{len(computes)} runners computed; expected exactly 1"
+        outputs = {(tmp_path / f"out{i}.json").read_text() for i in range(4)}
+        assert outputs == {'{"answer": 42}'}
+
+
+class TestMaintenanceCli:
+    def _populate(self, tmp_path):
+        cache = ResultCache(str(tmp_path))  # real code fingerprint, like the CLI
+        good = cache.key("exp", {"seed": 0})
+        cache.put(good, {"report": "fine"})
+        stale = ResultCache(str(tmp_path), fingerprint="old")
+        stale_key = stale.key("exp", {"seed": 1})
+        stale.put(stale_key, {"report": "old"})
+        bad = cache.key("exp", {"seed": 2})
+        cache.put(bad, {"report": "doomed"})
+        cache.entry_path(bad).write_text("{ torn")
+        return cache, good, stale_key, bad
+
+    def test_verify_reports_and_exits_nonzero_on_corruption(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        assert main(["verify", "--cache-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "1 ok, 1 stale, 1 corrupt" in out
+
+    def test_verify_clean_cache_exits_zero(self, tmp_path, capsys):
+        cache = ResultCache(str(tmp_path))
+        cache.put(cache.key("exp", {}), {"report": "fine"})
+        assert main(["verify", "--cache-dir", str(tmp_path)]) == 0
+
+    def test_verify_quarantine_moves_corrupt_entries(self, tmp_path, capsys):
+        cache, _good, _stale, bad = self._populate(tmp_path)
+        assert main(["verify", "--quarantine", "--cache-dir", str(tmp_path)]) == 1
+        assert not cache.entry_path(bad).exists()
+        assert cache.entry_path(bad).with_suffix(".corrupt").exists()
+        # Second pass: corruption is gone, only ok + stale remain.
+        assert main(["verify", "--cache-dir", str(tmp_path)]) == 0
+
+    def test_prune_removes_stale_entries_and_lockfiles(self, tmp_path, capsys):
+        cache, good, stale_key, _bad = self._populate(tmp_path)
+        with cache.lock(good):
+            pass
+        assert main(["prune", "--cache-dir", str(tmp_path)]) == 0
+        assert cache.get(good) is not None, "prune must keep current entries"
+        assert not cache.entry_path(stale_key).exists()
+        assert not cache.entry_path(good).with_suffix(".lock").exists()
+
+    def test_prune_corrupt_removes_quarantined_files(self, tmp_path, capsys):
+        cache, _good, _stale, bad = self._populate(tmp_path)
+        assert main(["verify", "--quarantine", "--cache-dir", str(tmp_path)]) == 1
+        quarantined = cache.entry_path(bad).with_suffix(".corrupt")
+        assert quarantined.exists()
+        assert main(["prune", "--corrupt", "--cache-dir", str(tmp_path)]) == 0
+        assert not quarantined.exists()
+
+    def test_module_dispatcher_routes_cache_commands(self, tmp_path, capsys):
+        from repro.runtime.__main__ import main as runtime_main
+
+        cache = ResultCache(str(tmp_path))
+        cache.put(cache.key("exp", {}), {"report": "fine"})
+        assert runtime_main(["cache", "verify", "--cache-dir", str(tmp_path)]) == 0
+        assert runtime_main(["bogus"]) == 2

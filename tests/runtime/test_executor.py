@@ -39,6 +39,11 @@ def snooze(seconds):
     return "slept"
 
 
+def fail_after(delay):
+    time.sleep(delay)
+    raise RuntimeError("deliberate late failure")
+
+
 def _executor(jobs=1):
     # Tiny backoff so retry tests stay fast.
     return DagExecutor(jobs=jobs, backoff_base_s=0.01, backoff_cap_s=0.05)
@@ -185,6 +190,23 @@ class TestProcessPoolMode:
         assert results["quick"].value == 3
         assert elapsed < 20.0, "timed-out worker was not killed"
 
+    def test_failed_task_billed_in_function_wall_not_queue_wait(self):
+        # Both workers are pinned by sleepers, so the failing task sits
+        # in the pool queue well past its own runtime.  Its wall_s must
+        # reflect the ~0.05s it actually ran, not the ~0.5s of waiting.
+        results = _executor(jobs=2).run(
+            [
+                TaskSpec(id="busy1", fn=snooze, kwargs={"seconds": 0.5}),
+                TaskSpec(id="busy2", fn=snooze, kwargs={"seconds": 0.5}),
+                TaskSpec(id="late", fn=fail_after, kwargs={"delay": 0.05}),
+            ]
+        )
+        assert results["late"].status is TaskStatus.FAILED
+        assert "deliberate late failure" in results["late"].error
+        assert results["late"].wall_s < 0.4, (
+            f"failure billed {results['late'].wall_s:.2f}s: queue wait leaked into wall time"
+        )
+
     def test_dag_dependency_feeds_downstream(self):
         results = _executor(jobs=2).run(
             [
@@ -193,6 +215,23 @@ class TestProcessPoolMode:
             ]
         )
         assert results["a"].ok and results["b"].ok
+
+
+class TestRunAttempt:
+    def test_success_contract(self):
+        from repro.runtime.executor import _run_attempt
+
+        ok, value, wall, _rss = _run_attempt(add, {"a": 2, "b": 3})
+        assert (ok, value) == (True, 5)
+        assert wall >= 0
+
+    def test_failure_returns_typed_message_and_wall(self):
+        from repro.runtime.executor import _run_attempt
+
+        ok, value, wall, _rss = _run_attempt(fail_after, {"delay": 0.05})
+        assert ok is False
+        assert value == "RuntimeError: deliberate late failure"
+        assert wall >= 0.05
 
 
 class TestValidation:

@@ -1,0 +1,74 @@
+"""RunJournal tests: append-only records, last-wins, torn-line tolerance."""
+
+import json
+
+from repro.runtime import JOURNAL_NAME, RunJournal
+
+
+class TestRoundTrip:
+    def test_meta_and_records_load_back(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        journal = RunJournal(path)
+        journal.meta(seed=7, quick=True, ids=["a", "b"])
+        journal.record("a", status="ok", key="k1", attempts=1, wall_s=0.5)
+        journal.record("b", status="failed", key="k2", attempts=3, wall_s=1.25)
+        meta, entries = RunJournal.load(path)
+        assert meta == {"seed": 7, "quick": True, "ids": ["a", "b"]}
+        assert entries["a"]["status"] == "ok"
+        assert entries["a"]["key"] == "k1"
+        assert entries["b"]["status"] == "failed"
+        assert entries["b"]["attempts"] == 3
+
+    def test_later_record_wins(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        journal = RunJournal(path)
+        journal.record("a", status="failed", attempts=1)
+        journal.record("a", status="ok", key="k", attempts=2)
+        _, entries = RunJournal.load(path)
+        assert entries["a"]["status"] == "ok"
+        assert entries["a"]["attempts"] == 2
+        # Append-only: the superseded record is still in the file (audit
+        # trail), only the loaded view collapses to last-wins.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "run" / JOURNAL_NAME
+        RunJournal(path).record("a", status="ok")
+        assert path.exists()
+
+
+class TestCrashTolerance:
+    def test_missing_file_is_empty(self, tmp_path):
+        meta, entries = RunJournal.load(tmp_path / "nope.jsonl")
+        assert meta == {} and entries == {}
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        journal = RunJournal(path)
+        journal.record("a", status="ok", key="k")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "task", "task": "b", "sta')  # killed mid-append
+        meta, entries = RunJournal.load(path)
+        assert list(entries) == ["a"]
+
+    def test_non_dict_and_unknown_lines_are_skipped(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps([1, 2, 3]) + "\n")
+            fh.write(json.dumps({"type": "task"}) + "\n")  # no task id
+            fh.write(json.dumps({"type": "task", "task": "a", "status": "ok"}) + "\n")
+            fh.write("\n")
+        _, entries = RunJournal.load(path)
+        assert list(entries) == ["a"]
+
+    def test_records_are_one_json_line_each(self, tmp_path):
+        path = tmp_path / JOURNAL_NAME
+        journal = RunJournal(path)
+        journal.meta(seed=0)
+        journal.record("a", status="ok", wall_s=1.23456789)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+        assert json.loads(lines[1])["wall_s"] == 1.234568  # rounded for stability

@@ -119,3 +119,66 @@ class TestRoundTrip:
     def test_field_count_is_18(self, small_workload):
         line = render_swf_text(small_workload).splitlines()[-1]
         assert len(line.split()) == len(SWF_FIELDS) == 18
+
+
+MALFORMED = """\
+; MaxProcs: 128
+1 0 5 100 4
+2 0 abc
+3 10 5 100 4
+"""
+
+
+class TestOnError:
+    def test_default_policy_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 3"):
+            parse_swf_text(MALFORMED)
+
+    def test_skip_drops_bad_lines(self):
+        w = parse_swf_text(MALFORMED, on_error="skip")
+        assert len(w) == 2
+        assert np.array_equal(w.column("job_id"), [1, 3])
+        assert not hasattr(w, "parse_errors")
+
+    def test_quarantine_records_errors_on_workload(self):
+        w = parse_swf_text(MALFORMED, on_error="quarantine")
+        assert len(w) == 2
+        assert len(w.parse_errors) == 1
+        err = w.parse_errors[0]
+        assert err.lineno == 3
+        assert "non-numeric" in err.reason
+        assert err.line == "2 0 abc"
+
+    def test_quarantine_flags_too_many_fields(self):
+        text = " ".join(["9"] * 19) + "\n1 0 5 100 4\n"
+        w = parse_swf_text(text, on_error="quarantine")
+        assert len(w) == 1
+        assert "19 fields" in w.parse_errors[0].reason
+
+    def test_quarantined_errors_reach_the_audit(self):
+        from repro.workload.anomalies import audit_workload
+
+        w = parse_swf_text(MALFORMED, on_error="quarantine")
+        report = audit_workload(w)
+        assert report.parse_errors == w.parse_errors
+        assert not report.is_clean
+        assert "1 unparsable line(s)" in report.summary()
+
+    def test_clean_parse_keeps_audit_clean_of_parse_errors(self):
+        from repro.workload.anomalies import audit_workload
+
+        w = parse_swf_text(SAMPLE, on_error="quarantine")
+        assert w.parse_errors == ()
+        assert audit_workload(w).parse_errors == ()
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            parse_swf_text(SAMPLE, on_error="ignore")
+
+    def test_read_swf_threads_policy(self, tmp_path):
+        path = tmp_path / "log.swf"
+        path.write_text(MALFORMED)
+        w = read_swf(path, on_error="skip")
+        assert len(w) == 2
+        with pytest.raises(ValueError, match="line 3"):
+            read_swf(path)
