@@ -3,7 +3,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: install test lint chaos bench experiments experiments-quick quick results archive clean
+.PHONY: install test lint chaos bench obs-bench experiments experiments-quick quick results archive clean
 
 install:
 	pip install -e .[test]
@@ -39,13 +39,18 @@ chaos:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Trace-overhead budget: bounds streaming-observability cost on the
+# quick suite (< 5%) and records the numbers in BENCH_obs.json.
+obs-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/obs_overhead.py
+
 experiments:
 	$(PYTHON) -m repro.experiments --jobs $(JOBS) --out results --report results/SCORECARD.md
 
 # Parallel quick run with scorecard; exits nonzero on claim misses or
 # experiment failures (the CI gate).
 experiments-quick:
-	$(PYTHON) -m repro.experiments --quick --jobs $(JOBS) \
+	$(PYTHON) -m repro.experiments --quick --jobs $(JOBS) --out results/quick \
 		--report results/SCORECARD-quick.md --trace results/trace-quick.jsonl
 
 quick:

@@ -1,0 +1,106 @@
+"""Trace-overhead budget check: ``make obs-bench``.
+
+Measures what streaming observability costs a quick-suite run and writes
+the verdict to ``BENCH_obs.json``.  Rather than differencing two noisy
+end-to-end timings (where scheduler jitter easily exceeds the signal),
+it measures the two hard numbers directly:
+
+1. the wall time of a traced quick run and how many records its trace
+   holds;
+2. the marginal cost of one streamed record (open + append + fsync),
+   timed over a batch in isolation;
+
+and bounds the overhead as ``records x per_record_s / quick_wall_s``.
+That is an upper bound on what tracing added — every record's emit cost
+counted against the traced wall — and it must stay under 5%.
+
+Run directly (``python benchmarks/obs_overhead.py``); exits nonzero when
+the budget is blown.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+
+BUDGET = 0.05  #: tracing may cost at most 5% of the quick suite
+EMIT_SAMPLES = 300
+OUT_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_obs.json")
+
+
+def _measure_per_record_s() -> float:
+    from repro.obs import TraceWriter
+    from repro.obs import clock
+
+    with tempfile.TemporaryDirectory() as tmp:
+        writer = TraceWriter(os.path.join(tmp, "trace.jsonl"))
+        record = {
+            "type": "span",
+            "name": "bench.emit",
+            "trace_id": writer.trace_id,
+            "span_id": "0" * 16,
+            "parent_id": None,
+            "ts": 0.0,
+            "wall_s": 0.0,
+            "status": "ok",
+        }
+        t0 = clock.perf()
+        for _ in range(EMIT_SAMPLES):
+            writer.emit(record)
+        return (clock.perf() - t0) / EMIT_SAMPLES
+
+
+def _run_quick_traced() -> tuple:
+    """(wall seconds, trace record count) of a traced quick run."""
+    from repro.experiments.runner import main
+    from repro.obs import clock, read_trace
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_dir = os.path.join(tmp, "results")
+        cache_dir = os.path.join(tmp, "cache")
+        argv = [
+            "figure2", "table1", "--quick", "--no-cache",
+            "--out", out_dir, "--cache-dir", cache_dir,
+        ]
+        t0 = clock.perf()
+        with contextlib.redirect_stdout(io.StringIO()):
+            code = main(argv)
+        wall = clock.perf() - t0
+        if code != 0:
+            raise SystemExit(f"quick run failed with exit code {code}")
+        trace = read_trace(os.path.join(out_dir, "latest", "trace.jsonl"))
+        return wall, len(trace.records)
+
+
+def main() -> int:
+    per_record_s = _measure_per_record_s()
+    quick_wall_s, records = _run_quick_traced()
+    overhead_est = records * per_record_s / quick_wall_s
+    doc = {
+        "quick_wall_s": round(quick_wall_s, 4),
+        "trace_records": records,
+        "per_record_s": round(per_record_s, 7),
+        "overhead_est": round(overhead_est, 5),
+        "budget": BUDGET,
+        "within_budget": overhead_est < BUDGET,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    if not doc["within_budget"]:
+        print(
+            f"FAIL: tracing overhead {overhead_est:.1%} exceeds the {BUDGET:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: tracing overhead bounded at {overhead_est:.2%} of the quick suite (< {BUDGET:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

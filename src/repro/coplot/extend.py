@@ -22,6 +22,7 @@ from scipy import optimize
 from repro.coplot.dissimilarity import city_block
 from repro.coplot.model import Coplot, CoplotResult
 from repro.coplot.procrustes import procrustes_align, procrustes_disparity
+from repro.obs.spans import span as obs_span
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_2d
 
@@ -160,14 +161,15 @@ def bootstrap_stability(
     rng = as_generator(seed)
     displacements = np.zeros((n_boot, n))
     disparities = []
-    for b in range(n_boot):
-        cols = rng.integers(0, p, size=p)
-        # Resampled columns may repeat: suffix signs to keep them unique.
-        boot_signs = [f"{signs[j]}~{k}" for k, j in enumerate(cols)]
-        replicate = cp.fit(mat[:, cols], labels=labels, signs=boot_signs)
-        aligned = procrustes_align(ref_coords, replicate.coords)
-        displacements[b] = np.linalg.norm(aligned - ref_coords, axis=1) / ref_scale
-        disparities.append(procrustes_disparity(ref_coords, replicate.coords))
+    with obs_span("bootstrap.stability", n_boot=n_boot, n=n, p=p):
+        for b in range(n_boot):
+            cols = rng.integers(0, p, size=p)
+            # Resampled columns may repeat: suffix signs to keep them unique.
+            boot_signs = [f"{signs[j]}~{k}" for k, j in enumerate(cols)]
+            replicate = cp.fit(mat[:, cols], labels=labels, signs=boot_signs)
+            aligned = procrustes_align(ref_coords, replicate.coords)
+            displacements[b] = np.linalg.norm(aligned - ref_coords, axis=1) / ref_scale
+            disparities.append(procrustes_disparity(ref_coords, replicate.coords))
 
     return StabilityReport(
         labels=list(reference.labels),

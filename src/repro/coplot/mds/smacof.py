@@ -24,6 +24,7 @@ from repro.coplot.mds.base import (
 )
 from repro.coplot.mds.classical import classical_mds
 from repro.coplot.mds.monotone import isotonic_regression, rank_image
+from repro.obs.spans import span as obs_span
 from repro.util.rng import SeedLike, as_generator
 
 __all__ = ["smacof"]
@@ -181,20 +182,28 @@ def smacof(
 
     best: Optional[MDSResult] = None
     best_key = math.inf
-    for start in starts:
-        coords, stress, it, converged = _run_single(
-            sv, n, start, transform, max_iter, tol
-        )
-        theta = coefficient_of_alienation(sv, upper_triangle(pairwise_euclidean(coords)))
-        key = theta if select_by == "alienation" else stress
-        if key < best_key:
-            best_key = key
-            best = MDSResult(
-                coords=coords,
-                alienation=theta,
-                stress=stress,
-                n_iter=it,
-                converged=converged,
+    # The SSA/SMACOF iteration loop is the engine's hottest path; the
+    # ambient span makes it visible in streamed traces (no-op untraced).
+    with obs_span("mds.solve", transform=transform, n=n, starts=len(starts)) as handle:
+        for start in starts:
+            coords, stress, it, converged = _run_single(
+                sv, n, start, transform, max_iter, tol
             )
-    assert best is not None
+            theta = coefficient_of_alienation(sv, upper_triangle(pairwise_euclidean(coords)))
+            key = theta if select_by == "alienation" else stress
+            if key < best_key:
+                best_key = key
+                best = MDSResult(
+                    coords=coords,
+                    alienation=theta,
+                    stress=stress,
+                    n_iter=it,
+                    converged=converged,
+                )
+        assert best is not None
+        handle.set(
+            n_iter=best.n_iter,
+            converged=best.converged,
+            alienation=round(best.alienation, 6),
+        )
     return best

@@ -28,6 +28,7 @@ from repro.experiments.common import (
     production_matrix,
     render_claims,
 )
+from repro.obs import span
 
 __all__ = ["Figure2Result", "run_figure2", "FIGURE2_NAMES"]
 
@@ -61,7 +62,8 @@ def run_figure2(*, seed: int = 0) -> Figure2Result:
     """Reproduce Figure 2 from the embedded Table 1 data."""
     y, labels = production_matrix(FIGURE2_SIGNS, FIGURE2_NAMES)
     cp = default_coplot(seed=seed)
-    result = cp.fit(y, labels=labels, signs=list(FIGURE2_SIGNS))
+    with span("figure2.fit", observations=len(labels), variables=len(FIGURE2_SIGNS)):
+        result = cp.fit(y, labels=labels, signs=list(FIGURE2_SIGNS))
 
     # The interactive workloads + NASA: the paper's only observation cluster.
     inter = ("LANLi", "SDSCi", "NASA")

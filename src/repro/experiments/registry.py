@@ -148,25 +148,30 @@ def execute_experiment(exp_id: str, kwargs: Mapping[str, Any]) -> Dict[str, Any]
 
     Runs in a worker process under ``--jobs N``; everything the CLI
     prints, caches or exports must come out of the returned payload.
+    The run and render phases are traced as child spans when an ambient
+    tracer is installed (no-ops otherwise).
     """
     from repro.coplot.render import coplot_to_csv, coplot_to_svg
+    from repro.obs import span
 
     spec = REGISTRY[exp_id]
     start = time.perf_counter()
-    result = spec.run(**dict(kwargs))
+    with span("experiment.run", experiment=exp_id):
+        result = spec.run(**dict(kwargs))
     compute_s = time.perf_counter() - start
-    payload: Dict[str, Any] = {
-        "experiment": exp_id,
-        "kwargs": dict(kwargs),
-        "report": result.render(),
-        "claims": _extract_claims(result),
-        "compute_s": round(compute_s, 6),
-        "artifacts": {},
-    }
-    coplot = getattr(result, "coplot", None)
-    if coplot is not None:
-        payload["artifacts"]["csv"] = coplot_to_csv(coplot)
-        payload["artifacts"]["svg"] = coplot_to_svg(coplot)
+    with span("experiment.render", experiment=exp_id):
+        payload: Dict[str, Any] = {
+            "experiment": exp_id,
+            "kwargs": dict(kwargs),
+            "report": result.render(),
+            "claims": _extract_claims(result),
+            "compute_s": round(compute_s, 6),
+            "artifacts": {},
+        }
+        coplot = getattr(result, "coplot", None)
+        if coplot is not None:
+            payload["artifacts"]["csv"] = coplot_to_csv(coplot)
+            payload["artifacts"]["svg"] = coplot_to_svg(coplot)
     return payload
 
 
@@ -176,6 +181,8 @@ def execute_experiment_cached(
     cache_dir: str,
     fingerprint: str,
     refresh: bool = False,
+    obs_ctx: Optional[Mapping[str, Any]] = None,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one experiment through the shared result cache, in the worker.
 
@@ -186,15 +193,39 @@ def execute_experiment_cached(
     once.  Returns an envelope ``{"payload", "cache_hit", "key"}``; all
     arguments are JSON-safe so the enclosing ``TaskSpec`` stays
     cache-keyable and picklable.
+
+    *obs_ctx* is the trace propagation envelope —
+    ``{"path", "trace_id", "parent_id"}`` — serialized by the parent so
+    the worker's spans (cache lookup/compute/publish and in-experiment
+    phases) nest under the run's trace in the shared ``trace.jsonl``.
+    *profile_dir* enables per-task cProfile capture (``--profile``).
+    Neither ever reaches the cache key: the key covers only
+    ``(exp_id, kwargs, fingerprint)``.
     """
+    from repro.obs import Tracer, TraceWriter, maybe_profile, reset_tracer, set_tracer, span
     from repro.runtime.cache import ResultCache
 
-    cache = ResultCache(cache_dir, fingerprint=fingerprint)
-    key = cache.key(exp_id, kwargs)
-    payload, hit = cache.get_or_compute(
-        key,
-        lambda: execute_experiment(exp_id, kwargs),
-        meta={"experiment": exp_id, "seed": dict(kwargs).get("seed")},
-        refresh=refresh,
-    )
-    return {"payload": payload, "cache_hit": hit, "key": key}
+    token = None
+    if obs_ctx and obs_ctx.get("path"):
+        writer = TraceWriter(
+            obs_ctx["path"], trace_id=obs_ctx.get("trace_id"), write_header=False
+        )
+        token = set_tracer(
+            Tracer(writer, trace_id=writer.trace_id, parent_id=obs_ctx.get("parent_id"))
+        )
+    try:
+        with span(f"task:{exp_id}", task=exp_id) as handle:
+            with maybe_profile(profile_dir, exp_id):
+                cache = ResultCache(cache_dir, fingerprint=fingerprint)
+                key = cache.key(exp_id, kwargs)
+                payload, hit = cache.get_or_compute(
+                    key,
+                    lambda: execute_experiment(exp_id, kwargs),
+                    meta={"experiment": exp_id, "seed": dict(kwargs).get("seed")},
+                    refresh=refresh,
+                )
+                handle.set(cache_hit=hit)
+        return {"payload": payload, "cache_hit": hit, "key": key}
+    finally:
+        if token is not None:
+            reset_tracer(token)

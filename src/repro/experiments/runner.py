@@ -34,10 +34,19 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from typing import Any, Dict, List, Optional
 
 from repro.experiments.registry import REGISTRY, build_kwargs, execute_experiment_cached
+from repro.obs import (
+    METRICS_NAME,
+    PROFILE_DIR_NAME,
+    TRACE_NAME,
+    MetricsRegistry,
+    Tracer,
+    TraceWriter,
+    set_tracer,
+)
+from repro.obs import clock as obs_clock
 from repro.runtime import (
     JOURNAL_NAME,
     DagExecutor,
@@ -46,6 +55,8 @@ from repro.runtime import (
     TaskResult,
     TaskSpec,
     Telemetry,
+    historical_wall_times,
+    longest_first,
     parse_chaos_spec,
 )
 from repro.util.atomicio import atomic_write_text
@@ -69,8 +80,8 @@ def _ensure_parent(path: str) -> None:
 def _run_dir_name(*, seed: int, quick: bool) -> str:
     # Run directories are wall-clock stamped so successive runs sort and
     # never collide; the stamp never reaches an experiment or cache key.
-    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())  # repro-lint: disable=REP003
-    return f"run-{stamp}-seed{seed}" + ("-quick" if quick else "")
+    # (repro.obs.clock is the sanctioned wall-clock module, REP003.)
+    return f"run-{obs_clock.utc_stamp()}-seed{seed}" + ("-quick" if quick else "")
 
 
 def _prepare_run_dir(out_dir: str, *, seed: int, quick: bool) -> str:
@@ -153,6 +164,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         default=None,
         help="write structured JSONL telemetry (spans/events/metrics) to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="export run metrics in Prometheus text format to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each task into <run-dir>/profiles/<task>.pstats (needs --out/--resume)",
     )
     parser.add_argument(
         "--timeout",
@@ -241,17 +263,44 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"unknown experiment(s): {', '.join(unknown)}; known: {', '.join(REGISTRY)}"
         )
 
-    telemetry = Telemetry()
     per_exp_kwargs = {
         exp_id: build_kwargs(REGISTRY[exp_id], seed=args.seed, quick=args.quick)
         for exp_id in ids
     }
 
+    # Journal-driven scheduling: harvest the previous run's wall times
+    # *before* --out repoints the ``latest`` symlink at the fresh dir.
+    history: Dict[str, float] = {}
     if run_dir is None and args.out:
+        history = historical_wall_times(os.path.join(args.out, "latest"))
         run_dir = _prepare_run_dir(args.out, seed=args.seed, quick=args.quick)
     journal = RunJournal(os.path.join(run_dir, JOURNAL_NAME)) if run_dir else None
     if journal is not None and not args.resume:
         journal.meta(seed=args.seed, quick=args.quick, ids=list(ids))
+
+    if args.profile and run_dir is None:
+        parser.error("--profile needs --out DIR (or --resume) to hold the profiles")
+    profile_dir = os.path.join(run_dir, PROFILE_DIR_NAME) if args.profile else None
+
+    # Observability: with a run dir, spans/events stream into
+    # <run-dir>/trace.jsonl as they close (crash-safe, schema v2); the
+    # worker envelope below hangs every worker's spans under the run span.
+    run_started = obs_clock.now()
+    run_t0 = obs_clock.perf()
+    writer: Optional[TraceWriter] = None
+    obs_ctx: Optional[Dict[str, Any]] = None
+    root_span_id: Optional[str] = None
+    if run_dir is not None:
+        writer = TraceWriter(os.path.join(run_dir, TRACE_NAME))
+        root_span_id = obs_clock.new_id()
+        set_tracer(Tracer(writer, trace_id=writer.trace_id, parent_id=root_span_id))
+        obs_ctx = {
+            "path": os.path.join(run_dir, TRACE_NAME),
+            "trace_id": writer.trace_id,
+            "parent_id": root_span_id,
+        }
+    telemetry = Telemetry(sink=writer)
+    metrics = MetricsRegistry()
 
     cache = ResultCache(args.cache_dir)
     keys = {exp_id: cache.key(exp_id, per_exp_kwargs[exp_id]) for exp_id in ids}
@@ -295,6 +344,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             result.id, status=status, key=key, attempts=result.attempts, wall_s=result.wall_s
         )
 
+    # Longest-task-first submission (LPT) from the previous run's journal;
+    # with no history the order is the registry order, unchanged.
+    ordered_misses = longest_first(misses, history)
+    if history and ordered_misses != misses:
+        telemetry.event("schedule", policy="longest_first", order=list(ordered_misses))
     tasks = [
         TaskSpec(
             id=exp_id,
@@ -305,14 +359,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "cache_dir": args.cache_dir,
                 "fingerprint": cache.fingerprint,
                 "refresh": bool(args.no_cache),
+                "obs_ctx": obs_ctx,
+                "profile_dir": profile_dir,
             },
             timeout=args.timeout if args.timeout is not None else REGISTRY[exp_id].timeout_s,
             retries=args.retries,
         )
-        for exp_id in misses
+        for exp_id in ordered_misses
     ]
     executor = DagExecutor(
-        jobs=args.jobs, telemetry=telemetry, fault_plan=fault_plan, on_result=on_result
+        jobs=args.jobs,
+        telemetry=telemetry,
+        fault_plan=fault_plan,
+        on_result=on_result,
+        metrics=metrics,
     )
     results = executor.run(tasks)
 
@@ -385,9 +445,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     telemetry.metric("cache_misses", len(ids) - hits)
     telemetry.metric("task_failures", task_failures)
     telemetry.metric("claim_misses", claim_misses)
+    metrics.inc("cache_hits_total", hits)
+    metrics.inc("cache_misses_total", len(ids) - hits)
+    metrics.inc("task_failures_total", task_failures)
+    metrics.inc("claim_misses_total", claim_misses)
+    metrics.set_gauge("run_wall_seconds", round(obs_clock.perf() - run_t0, 6))
 
     if run_dir:
+        atomic_write_text(os.path.join(run_dir, METRICS_NAME), metrics.to_json())
         print(f"Outputs written to {run_dir}")
+    if args.metrics_out:
+        _ensure_parent(args.metrics_out)
+        atomic_write_text(args.metrics_out, metrics.to_prometheus())
+        print(f"Metrics written to {args.metrics_out}")
     if args.report:
         _ensure_parent(args.report)
         _write_scorecard(args.report, scorecard, seed=args.seed, quick=args.quick)
@@ -398,14 +468,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(telemetry.summary())
         print(f"Trace written to {args.trace}")
 
+    code = EXIT_OK
     if task_failures:
         print(f"{task_failures} experiment(s) failed; see the lines above.")
-        return EXIT_TASK_FAILURE
-    if claim_misses:
+        code = EXIT_TASK_FAILURE
+    elif claim_misses:
         print(f"{claim_misses} claim(s) did not hold; see [MISS] lines above.")
         if args.fail_on_miss:
-            return EXIT_CLAIM_MISS
-    return EXIT_OK
+            code = EXIT_CLAIM_MISS
+    if writer is not None:
+        # Close the run-level root span last: a trace with this span is a
+        # run that exited cleanly; without it, a run that was killed.
+        writer.emit(
+            {
+                "type": "span",
+                "name": "run",
+                "trace_id": writer.trace_id,
+                "span_id": root_span_id,
+                "parent_id": None,
+                "ts": round(run_started, 6),
+                "wall_s": round(obs_clock.perf() - run_t0, 6),
+                "status": "ok" if code == EXIT_OK else "error",
+                "exit_code": code,
+            }
+        )
+        set_tracer(None)
+    return code
 
 
 def _write_scorecard(path: str, scorecard, *, seed: int, quick: bool) -> None:

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.archive.synthesize import synthesize_all
 from repro.archive.targets import PRODUCTION_NAMES, TABLE1
+from repro.obs import span
 from repro.util.rng import SeedLike
 from repro.util.tables import format_table
 from repro.workload.statistics import WorkloadStatistics, compute_statistics
@@ -88,7 +89,9 @@ class Table1Result:
 
 def run_table1(*, n_jobs: int = 20000, seed: SeedLike = 0) -> Table1Result:
     """Synthesize all ten production workloads and compare to Table 1."""
-    workloads = synthesize_all(n_jobs=n_jobs, seed=seed)
-    measured = {name: compute_statistics(w) for name, w in workloads.items()}
+    with span("table1.synthesize", n_jobs=n_jobs):
+        workloads = synthesize_all(n_jobs=n_jobs, seed=seed)
+    with span("table1.statistics", workloads=len(workloads)):
+        measured = {name: compute_statistics(w) for name, w in workloads.items()}
     targets = {name: dict(TABLE1[name]) for name in PRODUCTION_NAMES}
     return Table1Result(targets=targets, measured=measured, n_jobs=n_jobs)

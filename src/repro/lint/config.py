@@ -16,8 +16,9 @@ POSIX-style path relative to the directory holding the config file
 entries extend the built-in defaults, which encode the two sanctioned
 exemptions of the determinism contract: :mod:`repro.util.rng` is the
 one place allowed to construct fresh-entropy generators (REP002), and
-:mod:`repro.runtime.telemetry` is the one place allowed to read the
-wall clock (REP003).
+:mod:`repro.obs.clock` is the one place allowed to read the wall
+clock and mint entropy-based ids (REP003) — everything else, including
+the telemetry shim, must route through it.
 """
 
 from __future__ import annotations
@@ -40,7 +41,7 @@ __all__ = [
 #: window worth the tempfile + os.replace ceremony.
 DEFAULT_PER_RULE_EXCLUDE: Mapping[str, Tuple[str, ...]] = {
     "REP002": ("*/repro/util/rng.py",),
-    "REP003": ("*/repro/runtime/telemetry.py",),
+    "REP003": ("*/repro/obs/clock.py",),
     "REP007": ("tests/*",),
 }
 

@@ -185,9 +185,10 @@ class NondeterministicCallRule(Rule):
 
     Timestamps, UUIDs and entropy reads make output differ between
     identical runs, so cached payloads stop being content-addressed
-    facts.  :mod:`repro.runtime.telemetry` is the sanctioned sink for
-    wall-clock data (default per-rule-exclude); anything else must take
-    timestamps as parameters or carry an inline suppression explaining
+    facts.  :mod:`repro.obs.clock` is the sanctioned wall-clock and
+    entropy-id module (default per-rule-exclude); anything else —
+    including the telemetry shim — must route through it, take
+    timestamps as parameters, or carry an inline suppression explaining
     why wall-clock behaviour is the point.
     """
 

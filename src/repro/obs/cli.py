@@ -1,0 +1,179 @@
+"""``python -m repro.obs`` — inspect, compare and export run telemetry.
+
+Subcommands::
+
+    summarize PATH            render the span tree + critical path of a run
+    diff A B                  compare two runs; exit 1 on a wall-time regression
+    export PATH --format F    emit metrics (prom) or spans (csv)
+
+``PATH`` is either a trace file (``trace.jsonl``) or a run directory
+(which holds ``trace.jsonl`` and ``metrics.json``); ``latest`` symlinks
+work like any other directory.  See docs/OBSERVABILITY.md for the
+cookbook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import os
+import sys
+from typing import List, Optional
+
+from repro.obs.diff import DEFAULT_MIN_WALL_S, DEFAULT_THRESHOLD, diff_runs
+from repro.obs.metrics import METRICS_NAME, MetricsRegistry
+from repro.obs.summary import summarize_trace
+from repro.obs.trace import TRACE_NAME, Trace, read_trace
+from repro.util.atomicio import atomic_write_text
+
+__all__ = ["main"]
+
+#: Exit codes: 0 ok, 1 regression found (diff), 2 usage/unreadable input.
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+
+#: Columns of ``export --format csv``, in order.
+_CSV_FIELDS = (
+    "name",
+    "task",
+    "status",
+    "wall_s",
+    "compute_s",
+    "cache_hit",
+    "retries",
+    "ts",
+    "trace_id",
+    "span_id",
+    "parent_id",
+)
+
+
+def _trace_path(path: str) -> str:
+    """Resolve a run dir or trace file argument to the trace file."""
+    if os.path.isdir(path):
+        return os.path.join(path, TRACE_NAME)
+    return path
+
+
+def _load_trace(parser: argparse.ArgumentParser, path: str) -> Trace:
+    resolved = _trace_path(path)
+    try:
+        return read_trace(resolved)
+    except OSError as exc:
+        parser.error(f"cannot read trace {resolved}: {exc}")
+        raise AssertionError  # pragma: no cover - parser.error raises
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output:
+        atomic_write_text(output, text)
+        print(f"Written to {output}")
+    else:
+        sys.stdout.write(text)
+
+
+def _metrics_for(path: str, trace: Trace) -> MetricsRegistry:
+    """The run's metrics: ``metrics.json`` when present, else rebuilt.
+
+    A run dir carries the registry the runner flushed; a bare trace file
+    (or a run killed before the flush) still yields its counters from
+    the streamed ``metric`` records plus a wall-time histogram recomputed
+    from the task spans.
+    """
+    if os.path.isdir(path):
+        metrics_path = os.path.join(path, METRICS_NAME)
+        try:
+            with open(metrics_path, "r", encoding="utf-8") as fh:
+                return MetricsRegistry.from_json(fh.read())
+        except (OSError, ValueError):
+            pass
+    reg = MetricsRegistry()
+    for rec in trace.metrics:
+        name, value = rec.get("name"), rec.get("value")
+        if isinstance(name, str) and isinstance(value, (int, float)):
+            reg.inc(str(name) + "_total" if not name.endswith("_total") else name, value)
+    for span in trace.task_spans.values():
+        reg.observe("task_wall_seconds", float(span.get("wall_s") or 0.0))
+    return reg
+
+
+def _spans_csv(trace: Trace) -> str:
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_CSV_FIELDS, extrasaction="ignore")
+    writer.writeheader()
+    for span in trace.spans:
+        writer.writerow({k: span.get(k, "") for k in _CSV_FIELDS})
+    return buf.getvalue()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect, compare and export repro run traces and metrics.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="span tree, critical path and digest of one run")
+    p_sum.add_argument("path", metavar="PATH", help="run directory or trace.jsonl file")
+
+    p_diff = sub.add_parser("diff", help="compare two runs; exit 1 on regression")
+    p_diff.add_argument("run_a", metavar="RUN_A", help="baseline run dir or trace file")
+    p_diff.add_argument("run_b", metavar="RUN_B", help="candidate run dir or trace file")
+    p_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        metavar="FRACTION",
+        help=f"relative slowdown that counts as a regression (default {DEFAULT_THRESHOLD})",
+    )
+    p_diff.add_argument(
+        "--min-wall",
+        type=float,
+        default=DEFAULT_MIN_WALL_S,
+        metavar="SECONDS",
+        help=f"absolute slowdown floor in seconds (default {DEFAULT_MIN_WALL_S})",
+    )
+
+    p_exp = sub.add_parser("export", help="emit metrics or spans in a foreign format")
+    p_exp.add_argument("path", metavar="PATH", help="run directory or trace.jsonl file")
+    p_exp.add_argument(
+        "--format",
+        choices=("prom", "csv"),
+        required=True,
+        help="prom = Prometheus text metrics, csv = one row per span",
+    )
+    p_exp.add_argument("--output", metavar="FILE", default=None, help="write here (default stdout)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "summarize":
+        trace = _load_trace(parser, args.path)
+        print(summarize_trace(trace))
+        return EXIT_OK
+
+    if args.command == "diff":
+        if args.threshold < 0:
+            parser.error("--threshold must be >= 0")
+        trace_a = _load_trace(parser, args.run_a)
+        trace_b = _load_trace(parser, args.run_b)
+        result = diff_runs(
+            trace_a, trace_b, threshold=args.threshold, min_wall_s=args.min_wall
+        )
+        print(f"A: {_trace_path(args.run_a)}")
+        print(f"B: {_trace_path(args.run_b)}")
+        print(result.render())
+        return EXIT_REGRESSION if result.has_regressions else EXIT_OK
+
+    assert args.command == "export"
+    trace = _load_trace(parser, args.path)
+    if args.format == "prom":
+        _emit(_metrics_for(args.path, trace).to_prometheus(), args.output)
+    else:
+        _emit(_spans_csv(trace), args.output)
+    return EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The sanctioned wall-clock and entropy sink for the observability layer.
+
+The determinism contract (docs/LINT.md, REP003) bans wall-clock and
+entropy reads from library code: timestamps in computed payloads would
+break content-addressed caching.  Observability is the exception — a
+trace *is* wall-clock data — so every nondeterministic read the obs
+layer needs lives here, in one module, which the linter exempts via the
+``REP003`` per-rule exclude (see ``[tool.repro-lint]`` in pyproject and
+:data:`repro.lint.config.DEFAULT_PER_RULE_EXCLUDE`).
+
+Nothing in here may ever flow into a cache key or an experiment result;
+trace ids, span ids and timestamps exist purely to label and order
+observations of a run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["monotonic", "new_id", "now", "perf", "utc_stamp"]
+
+
+def now() -> float:
+    """Epoch seconds, for timestamping trace records."""
+    return time.time()
+
+
+def perf() -> float:
+    """High-resolution monotonic counter, for measuring durations."""
+    return time.perf_counter()
+
+
+def monotonic() -> float:
+    """Monotonic seconds, for deadlines."""
+    return time.monotonic()
+
+
+def utc_stamp() -> str:
+    """A ``YYYYmmdd-HHMMSS`` UTC stamp, for naming run directories."""
+    return time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+
+
+def new_id() -> str:
+    """A fresh 16-hex-digit identifier for traces and spans.
+
+    Uses OS entropy: ids must be unique across concurrent worker
+    processes, so a seeded generator (which every worker would share)
+    cannot provide them.
+    """
+    return os.urandom(8).hex()

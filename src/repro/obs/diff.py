@@ -1,0 +1,155 @@
+"""Run-diff analytics: "why was this run slower than yesterday's?"
+
+:func:`diff_runs` compares the task-summary spans of two traces and
+classifies every task:
+
+* **regression** — effective compute time grew by more than the
+  relative *threshold* AND the absolute *min_wall* floor (both must
+  trip, so a 0.01s → 0.03s jitter never pages anyone);
+* **improvement** — the mirror image;
+* **new / missing** — tasks present in only one run;
+* plus the cache-hit-rate delta across the two runs.
+
+"Effective compute time" is the span's ``compute_s`` when present (the
+worker-measured compute recorded in the payload, which survives cache
+hits) falling back to ``wall_s`` — so comparing a warm run against a
+cold one compares the work, not the luck of the cache.
+
+``repro.obs diff A B`` renders the result and exits 1 when any
+regression trips the threshold — wire it between two CI runs and a perf
+regression fails the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.obs.trace import Trace
+
+__all__ = ["DEFAULT_MIN_WALL_S", "DEFAULT_THRESHOLD", "RunDiff", "TaskDelta", "diff_runs"]
+
+#: Default relative slowdown (fraction) before a task counts as regressed.
+DEFAULT_THRESHOLD = 0.25
+
+#: Default absolute slowdown floor in seconds (filters sub-jitter tasks).
+DEFAULT_MIN_WALL_S = 0.05
+
+
+def _effective_wall(span: Dict[str, Any]) -> float:
+    compute = span.get("compute_s")
+    if isinstance(compute, (int, float)):
+        return float(compute)
+    return float(span.get("wall_s") or 0.0)
+
+
+@dataclass(frozen=True)
+class TaskDelta:
+    """One task's wall-time movement between two runs."""
+
+    task: str
+    wall_a: float
+    wall_b: float
+
+    @property
+    def delta(self) -> float:
+        return self.wall_b - self.wall_a
+
+    @property
+    def ratio(self) -> float:
+        """b/a slowdown factor; infinity when a measured zero."""
+        if self.wall_a <= 0.0:
+            return float("inf") if self.wall_b > 0.0 else 1.0
+        return self.wall_b / self.wall_a
+
+
+@dataclass
+class RunDiff:
+    """Everything :func:`diff_runs` learned about runs A and B."""
+
+    threshold: float
+    min_wall_s: float
+    regressions: List[TaskDelta] = field(default_factory=list)
+    improvements: List[TaskDelta] = field(default_factory=list)
+    unchanged: List[TaskDelta] = field(default_factory=list)
+    new_tasks: List[str] = field(default_factory=list)
+    missing_tasks: List[str] = field(default_factory=list)
+    status_changes: List[str] = field(default_factory=list)
+    cache_rate_a: float = 0.0
+    cache_rate_b: float = 0.0
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def render(self) -> str:
+        lines: List[str] = []
+        compared = len(self.regressions) + len(self.improvements) + len(self.unchanged)
+        lines.append(
+            f"compared {compared} task(s); threshold +{self.threshold:.0%} "
+            f"and {self.min_wall_s:g}s"
+        )
+        lines.append(
+            f"cache hit rate: {self.cache_rate_a:.0%} -> {self.cache_rate_b:.0%} "
+            f"({self.cache_rate_b - self.cache_rate_a:+.0%})"
+        )
+        for kind, deltas in (("REGRESSION", self.regressions), ("improved", self.improvements)):
+            for d in sorted(deltas, key=lambda d: -abs(d.delta)):
+                ratio = "inf" if d.ratio == float("inf") else f"{d.ratio:.2f}x"
+                lines.append(
+                    f"  {kind}: {d.task}  {d.wall_a:.3f}s -> {d.wall_b:.3f}s "
+                    f"({d.delta:+.3f}s, {ratio})"
+                )
+        for task in self.status_changes:
+            lines.append(f"  status changed: {task}")
+        for task in self.new_tasks:
+            lines.append(f"  new in B: {task}")
+        for task in self.missing_tasks:
+            lines.append(f"  missing in B: {task}")
+        verdict = (
+            f"{len(self.regressions)} regression(s)"
+            if self.regressions
+            else "no regressions"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def diff_runs(
+    a: Trace,
+    b: Trace,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_wall_s: float = DEFAULT_MIN_WALL_S,
+) -> RunDiff:
+    """Compare two parsed traces task by task (see module docstring)."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    spans_a = a.task_spans
+    spans_b = b.task_spans
+    out = RunDiff(threshold=threshold, min_wall_s=min_wall_s)
+    out.new_tasks = sorted(set(spans_b) - set(spans_a))
+    out.missing_tasks = sorted(set(spans_a) - set(spans_b))
+
+    def hit_rate(spans: Dict[str, Dict[str, Any]]) -> float:
+        if not spans:
+            return 0.0
+        return sum(1 for s in spans.values() if s.get("cache_hit")) / len(spans)
+
+    out.cache_rate_a = hit_rate(spans_a)
+    out.cache_rate_b = hit_rate(spans_b)
+
+    for task in sorted(set(spans_a) & set(spans_b)):
+        span_a, span_b = spans_a[task], spans_b[task]
+        if span_a.get("status") != span_b.get("status"):
+            out.status_changes.append(
+                f"{task}: {span_a.get('status')} -> {span_b.get('status')}"
+            )
+        delta = TaskDelta(task=task, wall_a=_effective_wall(span_a), wall_b=_effective_wall(span_b))
+        if delta.delta > min_wall_s and delta.wall_b > delta.wall_a * (1.0 + threshold):
+            out.regressions.append(delta)
+        elif -delta.delta > min_wall_s and delta.wall_a > delta.wall_b * (1.0 + threshold):
+            out.improvements.append(delta)
+        else:
+            out.unchanged.append(delta)
+    return out

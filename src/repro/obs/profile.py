@@ -1,0 +1,49 @@
+"""Profiling hooks: per-task cProfile capture behind ``--profile``.
+
+:func:`maybe_profile` wraps one task attempt in :class:`cProfile.Profile`
+and dumps the stats to ``<profile_dir>/<task>.pstats`` when enabled —
+load them back with :mod:`pstats` or any flamegraph tool that reads the
+marshal format::
+
+    python -c "import pstats; pstats.Stats('profiles/table1.pstats').sort_stats('cumulative').print_stats(20)"
+
+The hook runs *inside* the worker process, so the profile covers the
+real compute (SWF synthesis, MDS iterations, bootstrap loops), not the
+parent's orchestration.  Disabled (``profile_dir=None``) it is a
+zero-cost no-op.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["PROFILE_DIR_NAME", "maybe_profile"]
+
+#: Subdirectory of a run dir holding the per-task pstats artifacts.
+PROFILE_DIR_NAME = "profiles"
+
+
+@contextmanager
+def maybe_profile(profile_dir: Optional[str], task: str) -> Iterator[None]:
+    """Profile the body into ``<profile_dir>/<task>.pstats`` when enabled.
+
+    Stats are flushed even when the body raises — a profile of a failing
+    task is exactly the one you want.  Path separators in *task* are
+    flattened so a task id can never escape the profile directory.
+    """
+    if not profile_dir:
+        yield
+        return
+    os.makedirs(profile_dir, exist_ok=True)
+    safe = task.replace(os.sep, "_").replace("/", "_")
+    path = os.path.join(profile_dir, f"{safe}.pstats")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)

@@ -11,8 +11,12 @@ past a serial for-loop while staying byte-for-byte reproducible:
   content-addressed result cache keyed on ``(experiment id, kwargs,
   code fingerprint)``, checksummed on read, with advisory per-key locks
   so concurrent runs compute each key exactly once;
-* :mod:`repro.runtime.telemetry` — structured JSONL spans/metrics
-  (wall time, cache hit/miss, retries, peak RSS) behind ``--trace``;
+* :mod:`repro.runtime.telemetry` — the flat per-task summary shim over
+  the :mod:`repro.obs` streaming trace layer (hierarchical spans,
+  metrics registry, profiling — see docs/OBSERVABILITY.md);
+* :mod:`repro.runtime.schedule` — journal-driven longest-first (LPT)
+  submission order for cache misses, with an exact input-order
+  fallback when no history exists;
 * :mod:`repro.runtime.faults` — seeded, replayable fault injection
   (``--chaos``) for exercising the failure paths on purpose;
 * :mod:`repro.runtime.journal` — the append-only crash journal that
@@ -28,6 +32,7 @@ from repro.runtime.executor import DagExecutor
 from repro.runtime.faults import FaultPlan, FaultRule, InjectedFault, parse_chaos_spec
 from repro.runtime.fingerprint import code_fingerprint, tree_fingerprint
 from repro.runtime.journal import JOURNAL_NAME, RunJournal
+from repro.runtime.schedule import historical_wall_times, longest_first
 from repro.runtime.task import TaskResult, TaskSpec, TaskStatus, toposort
 from repro.runtime.telemetry import Telemetry, summarize
 
@@ -47,6 +52,8 @@ __all__ = [
     "cache_key",
     "canonical_json",
     "code_fingerprint",
+    "historical_wall_times",
+    "longest_first",
     "parse_chaos_spec",
     "summarize",
     "toposort",

@@ -53,6 +53,7 @@ try:  # POSIX only; on other platforms locks degrade to no-ops.
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
+from repro.obs.spans import span as obs_span
 from repro.runtime.fingerprint import code_fingerprint
 
 __all__ = [
@@ -273,16 +274,22 @@ class ResultCache:
         ``refresh=True`` skips lookups but still locks and republishes.
         """
         if not refresh:
-            hit = self.get(key)
+            with obs_span("cache.lookup", key=key[:12]) as handle:
+                hit = self.get(key)
+                handle.set(hit=hit is not None)
             if hit is not None:
                 return hit, True
         with self.lock(key, timeout=lock_timeout):
             if not refresh:
-                hit = self.get(key)  # published while we waited for the lock
+                with obs_span("cache.lookup", key=key[:12], locked=True) as handle:
+                    hit = self.get(key)  # published while we waited for the lock
+                    handle.set(hit=hit is not None)
                 if hit is not None:
                     return hit, True
-            payload = compute()
-            self.put(key, payload, meta=meta)
+            with obs_span("cache.compute", key=key[:12]):
+                payload = compute()
+            with obs_span("cache.publish", key=key[:12]):
+                self.put(key, payload, meta=meta)
         return payload, False
 
     # -- maintenance ---------------------------------------------------------

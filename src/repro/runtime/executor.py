@@ -49,6 +49,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.faults import FaultPlan
 from repro.runtime.task import TaskResult, TaskSpec, TaskStatus, toposort
 from repro.runtime.telemetry import Telemetry
@@ -113,6 +114,7 @@ class DagExecutor:
         sleep: Callable[[float], None] = time.sleep,
         fault_plan: Optional[FaultPlan] = None,
         on_result: Optional[Callable[[TaskResult], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -123,6 +125,7 @@ class DagExecutor:
         self._sleep = sleep
         self.fault_plan = fault_plan
         self.on_result = on_result
+        self.metrics = metrics
         self._fault_counts: Dict[str, int] = {}
 
     # -- public API ---------------------------------------------------------
@@ -146,13 +149,29 @@ class DagExecutor:
         jitter = random.Random(f"{task.id}:{attempt}").uniform(0.5, 1.5)
         return base * jitter
 
+    #: Event kinds mirrored into metrics counters when a registry is attached.
+    _EVENT_COUNTERS = {
+        "retry": "retries_total",
+        "pool_rebuild": "pool_rebuilds_total",
+        "timeout": "timeouts_total",
+        "fault_injected": "faults_injected_total",
+    }
+
     def _event(self, kind: str, **fields: Any) -> None:
         if self.telemetry is not None:
             self.telemetry.event(kind, **fields)
+        if self.metrics is not None and kind in self._EVENT_COUNTERS:
+            self.metrics.inc(self._EVENT_COUNTERS[kind])
 
     def _notify(self, result: TaskResult) -> None:
-        """Deliver a terminal result to the ``on_result`` observer."""
+        """Deliver a terminal result to ``on_result`` and the metrics."""
         result.faults = self._fault_counts.get(result.id, 0)
+        if self.metrics is not None:
+            self.metrics.inc(f"tasks_{result.status.value}_total")
+            if result.status is not TaskStatus.SKIPPED:
+                self.metrics.observe("task_wall_seconds", result.wall_s)
+            if result.peak_rss_kb:
+                self.metrics.max_gauge("peak_rss_kb", result.peak_rss_kb)
         if self.on_result is not None:
             self.on_result(result)
 

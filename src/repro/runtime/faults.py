@@ -123,7 +123,19 @@ class _FaultingCall:
         self.fault = fault
 
     def __call__(self, **kwargs: Any) -> Any:
+        from repro.obs import event as obs_event
+
         fault = self.fault
+        # Worker-side breadcrumb: with tracing on, the streamed trace
+        # shows the fault firing *inside* the worker — even for an
+        # ``exit`` fault that takes the process down right after.
+        obs_event(
+            "fault_fired",
+            fault=fault.kind,
+            task=fault.task,
+            attempt=fault.attempt,
+            rule=fault.rule,
+        )
         if fault.kind == "raise":
             raise InjectedFault(
                 f"injected fault (task {fault.task!r}, attempt {fault.attempt})"

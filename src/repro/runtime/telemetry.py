@@ -1,40 +1,48 @@
-"""Structured run telemetry: JSONL spans, events and metrics.
+"""Structured run telemetry — now a thin shim over :mod:`repro.obs`.
 
-Instead of print statements, the experiment engine records one *span*
-per task (wall time, cache hit/miss, retry count, peak RSS, status),
-plus free-form *events* (retries, timeouts, pool rebuilds) and summary
-*metrics*.  ``Telemetry.write`` persists the records as JSON Lines — one
-JSON object per line, each carrying a ``type`` discriminator — which is
-trivially greppable and loads into any dataframe library.
-
-The ``repro-experiments --trace FILE`` flag wires this up end to end;
-:func:`summarize` renders the human-readable digest the CLI prints.
+.. deprecated:: PR 4
+    :class:`Telemetry` predates the observability subsystem: it buffered
+    every record in memory and ``write`` flushed once at run end, so a
+    killed run lost its entire trace.  The class survives as a
+    compatibility shim for existing ``--trace`` users and tests — it
+    still buffers (``records`` stays inspectable) but can additionally
+    *stream* every record as it lands by passing ``sink=`` (any object
+    with ``emit(record)``, normally a
+    :class:`repro.obs.trace.TraceWriter`), and ``write`` delegates to
+    :func:`repro.obs.trace.write_trace` (schema v2, atomic).  New code
+    should use :class:`repro.obs.Tracer` / :class:`repro.obs.TraceWriter`
+    directly — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
-import json
-import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.util.atomicio import atomic_write_text
+from repro.obs import clock as _clock
+from repro.obs.trace import TRACE_SCHEMA_VERSION, write_trace
 
-__all__ = ["Telemetry", "summarize"]
-
-#: Bump when the record schema changes incompatibly.
-TRACE_SCHEMA_VERSION = 1
+__all__ = ["TRACE_SCHEMA_VERSION", "Telemetry", "summarize"]
 
 
 class Telemetry:
-    """Collects structured records for one engine run."""
+    """Collects structured records for one engine run (see module note).
 
-    def __init__(self, clock=time.time) -> None:
+    ``clock`` is injectable for tests; the default routes through
+    :mod:`repro.obs.clock`, the sanctioned wall-clock module.
+    """
+
+    def __init__(self, clock: Callable[[], float] = _clock.now, *, sink: Any = None) -> None:
         self._clock = clock
+        self.sink = sink
         self.records: List[Dict[str, Any]] = []
 
     def _record(self, type_: str, fields: Dict[str, Any]) -> Dict[str, Any]:
         rec = {"type": type_, "ts": round(self._clock(), 6), **fields}
         self.records.append(rec)
+        if self.sink is not None:
+            # Stream the record the moment it lands: with a TraceWriter
+            # sink a kill -9 at any point leaves the trace on disk.
+            self.sink.emit(rec)
         return rec
 
     def span(
@@ -75,10 +83,12 @@ class Telemetry:
         return [r for r in self.records if r["type"] == "span"]
 
     def write(self, path: str) -> None:
-        """Persist all records as JSON Lines, prefixed by a header record."""
-        header = {"type": "header", "schema": TRACE_SCHEMA_VERSION, "ts": round(self._clock(), 6)}
-        lines = [json.dumps(rec, sort_keys=True, default=str) for rec in [header, *self.records]]
-        atomic_write_text(path, "\n".join(lines) + "\n")
+        """Persist all records as a v2 trace file (atomic, headed).
+
+        Kept for ``--trace FILE`` compatibility; the streaming ``sink``
+        is what makes a crashed run observable.
+        """
+        write_trace(path, self.records)
 
     def summary(self) -> str:
         return summarize(self.spans)

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, TextIO, Tuple, Union
 
 import numpy as np
 
+from repro.obs.spans import span as obs_span
 from repro.util.atomicio import atomic_write_text
 from repro.workload.fields import FIELD_NAMES, MISSING, SWF_FIELDS
 from repro.workload.workload import MachineInfo, Workload
@@ -91,27 +92,29 @@ def parse_swf_text(
             raise ValueError(f"line {lineno}: {reason}")
         errors.append(SwfParseError(lineno=lineno, reason=reason, line=line))
 
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
-        if not line:
-            continue
-        if line.startswith(";"):
-            body = line.lstrip(";").strip()
-            if ":" in body:
-                key, _, value = body.partition(":")
-                headers[key.strip().lower()] = value.strip()
-            continue
-        tokens = line.split()
-        if len(tokens) > len(SWF_FIELDS):
-            bad_line(lineno, f"{len(tokens)} fields, SWF defines {len(SWF_FIELDS)}", line)
-            continue
-        try:
-            values = [float(t) for t in tokens]
-        except ValueError as exc:
-            bad_line(lineno, f"non-numeric field ({exc})", line)
-            continue
-        values.extend([float(MISSING)] * (len(SWF_FIELDS) - len(values)))
-        rows.append(values)
+    with obs_span("swf.parse", on_error=on_error) as _sp:
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(";"):
+                body = line.lstrip(";").strip()
+                if ":" in body:
+                    key, _, value = body.partition(":")
+                    headers[key.strip().lower()] = value.strip()
+                continue
+            tokens = line.split()
+            if len(tokens) > len(SWF_FIELDS):
+                bad_line(lineno, f"{len(tokens)} fields, SWF defines {len(SWF_FIELDS)}", line)
+                continue
+            try:
+                values = [float(t) for t in tokens]
+            except ValueError as exc:
+                bad_line(lineno, f"non-numeric field ({exc})", line)
+                continue
+            values.extend([float(MISSING)] * (len(SWF_FIELDS) - len(values)))
+            rows.append(values)
+        _sp.set(jobs=len(rows), bad_lines=len(errors))
 
     data = np.asarray(rows, dtype=float) if rows else np.empty((0, len(SWF_FIELDS)))
     columns = {f.name: data[:, f.index] for f in SWF_FIELDS}

@@ -26,12 +26,17 @@ def _run(tmp_path, tag, extra):
     return out_dir
 
 
+# Observability sidecars carry real wall times and fresh trace ids;
+# determinism is a claim about the *experiment* artifacts.
+_SIDECARS = {"journal.jsonl", "trace.jsonl", "metrics.json", "profiles"}
+
+
 def _read_artifacts(out_dir):
     latest = os.path.join(out_dir, "latest")
     return {
         name: open(os.path.join(latest, name), "rb").read()
         for name in sorted(os.listdir(latest))
-        if name != "journal.jsonl"  # audit trail: carries real wall times
+        if name not in _SIDECARS
     }
 
 

@@ -1,0 +1,103 @@
+"""Run-diff tests: regression classification, thresholds, cache deltas."""
+
+import pytest
+
+from repro.obs import Trace, diff_runs
+
+
+def _trace(tasks):
+    """A minimal parsed trace from {task: attrs} summaries."""
+    records = [
+        {"type": "span", "name": f"task:{task}", "task": task, "status": "ok", **attrs}
+        for task, attrs in tasks.items()
+    ]
+    return Trace(schema=2, trace_id="t", records=records)
+
+
+class TestClassification:
+    def test_regression_needs_relative_and_absolute_trip(self):
+        a = _trace({"x": {"wall_s": 1.0}})
+        # +30% and +0.3s: both gates trip -> regression.
+        b = _trace({"x": {"wall_s": 1.3}})
+        diff = diff_runs(a, b, threshold=0.25, min_wall_s=0.05)
+        assert [d.task for d in diff.regressions] == ["x"]
+        assert diff.has_regressions
+
+    def test_small_absolute_delta_never_regresses(self):
+        # 3x slower but only 20ms: jitter, not a regression.
+        a = _trace({"x": {"wall_s": 0.01}})
+        b = _trace({"x": {"wall_s": 0.03}})
+        diff = diff_runs(a, b, threshold=0.25, min_wall_s=0.05)
+        assert not diff.has_regressions
+        assert [d.task for d in diff.unchanged] == ["x"]
+
+    def test_large_absolute_small_relative_delta_never_regresses(self):
+        # +10s on a 100s task is only +10%: under the relative gate.
+        a = _trace({"x": {"wall_s": 100.0}})
+        b = _trace({"x": {"wall_s": 110.0}})
+        diff = diff_runs(a, b, threshold=0.25, min_wall_s=0.05)
+        assert not diff.has_regressions
+
+    def test_improvement_is_the_mirror_image(self):
+        a = _trace({"x": {"wall_s": 2.0}})
+        b = _trace({"x": {"wall_s": 1.0}})
+        diff = diff_runs(a, b)
+        assert [d.task for d in diff.improvements] == ["x"]
+        assert not diff.has_regressions
+
+    def test_new_and_missing_tasks(self):
+        a = _trace({"x": {"wall_s": 1.0}, "gone": {"wall_s": 1.0}})
+        b = _trace({"x": {"wall_s": 1.0}, "fresh": {"wall_s": 1.0}})
+        diff = diff_runs(a, b)
+        assert diff.new_tasks == ["fresh"]
+        assert diff.missing_tasks == ["gone"]
+
+    def test_status_change_is_reported(self):
+        a = _trace({"x": {"wall_s": 1.0, "status": "ok"}})
+        b = _trace({"x": {"wall_s": 1.0, "status": "failed"}})
+        diff = diff_runs(a, b)
+        assert diff.status_changes == ["x: ok -> failed"]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            diff_runs(_trace({}), _trace({}), threshold=-0.1)
+
+
+class TestEffectiveWall:
+    def test_compute_s_preferred_over_wall_s(self):
+        # Warm run: wall_s ~0 (cache hit) but compute_s persisted in the
+        # payload.  Comparing against a cold run must compare the work.
+        cold = _trace({"x": {"wall_s": 2.0, "compute_s": 2.0, "cache_hit": False}})
+        warm = _trace({"x": {"wall_s": 0.001, "compute_s": 2.0, "cache_hit": True}})
+        diff = diff_runs(cold, warm)
+        assert not diff.has_regressions
+        assert not diff.improvements  # same compute -> unchanged
+
+    def test_cache_hit_rates(self):
+        a = _trace({"x": {"cache_hit": False}, "y": {"cache_hit": False}})
+        b = _trace({"x": {"cache_hit": True}, "y": {"cache_hit": True}})
+        diff = diff_runs(a, b)
+        assert diff.cache_rate_a == 0.0
+        assert diff.cache_rate_b == 1.0
+
+    def test_ratio_handles_zero_baseline(self):
+        a = _trace({"x": {"wall_s": 0.0}})
+        b = _trace({"x": {"wall_s": 1.0}})
+        diff = diff_runs(a, b)
+        (delta,) = diff.regressions
+        assert delta.ratio == float("inf")
+
+
+class TestRender:
+    def test_render_mentions_regressions_and_rates(self):
+        a = _trace({"x": {"wall_s": 1.0}})
+        b = _trace({"x": {"wall_s": 2.0}})
+        text = diff_runs(a, b).render()
+        assert "REGRESSION: x" in text
+        assert "1 regression(s)" in text
+        assert "cache hit rate" in text
+
+    def test_render_clean_diff(self):
+        a = _trace({"x": {"wall_s": 1.0}})
+        text = diff_runs(a, a).render()
+        assert "no regressions" in text

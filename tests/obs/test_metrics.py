@@ -1,0 +1,127 @@
+"""Metrics registry tests: counters, gauges, histograms, exports."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import WALL_BUCKETS
+
+
+class TestCounters:
+    def test_inc_creates_and_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("cache_hits_total")
+        reg.inc("cache_hits_total", 2)
+        assert reg.counter("cache_hits_total") == 3
+        assert reg.counter("absent", default=7) == 7
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("x", -1)
+
+
+class TestGauges:
+    def test_set_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("run_wall_seconds", 1.0)
+        reg.set_gauge("run_wall_seconds", 2.0)
+        assert reg.gauges["run_wall_seconds"] == 2.0
+
+    def test_max_gauge_tracks_peak(self):
+        reg = MetricsRegistry()
+        reg.max_gauge("peak_rss_kb", 100)
+        reg.max_gauge("peak_rss_kb", 50)
+        reg.max_gauge("peak_rss_kb", 200)
+        assert reg.gauges["peak_rss_kb"] == 200
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("task_wall_seconds", 0.02, buckets=(0.01, 0.1, 1.0))
+        reg.observe("task_wall_seconds", 0.02, buckets=(0.01, 0.1, 1.0))
+        reg.observe("task_wall_seconds", 99.0, buckets=(0.01, 0.1, 1.0))
+        prom = reg.to_prometheus()
+        assert 'task_wall_seconds_bucket{le="0.1"} 2' in prom
+        assert 'task_wall_seconds_bucket{le="+Inf"} 3' in prom
+        assert "task_wall_seconds_count 3" in prom
+
+    def test_default_buckets_are_ascending(self):
+        assert list(WALL_BUCKETS) == sorted(WALL_BUCKETS)
+
+
+class TestSerialization:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.inc("tasks_ok_total", 5)
+        reg.set_gauge("run_wall_seconds", 12.5)
+        reg.observe("task_wall_seconds", 0.3)
+        return reg
+
+    def test_json_round_trip(self):
+        reg = self._populated()
+        clone = MetricsRegistry.from_json(reg.to_json())
+        assert clone.counters == reg.counters
+        assert clone.gauges == reg.gauges
+        assert clone.to_prometheus() == reg.to_prometheus()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            "[1, 2]",
+            '{"histograms": {"h": {"buckets": [1], "counts": []}}}',
+            '{"counters": []}',
+        ],
+        ids=["undecodable", "non-object", "ragged-histogram", "wrong-type"],
+    )
+    def test_malformed_json_is_loud(self, text):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_json(text)
+
+    def test_prometheus_format_conventions(self):
+        reg = self._populated()
+        prom = reg.to_prometheus()
+        assert "# TYPE repro_tasks_ok_total counter" in prom
+        assert "repro_tasks_ok_total 5" in prom  # int renders without .0
+        assert "# TYPE repro_run_wall_seconds gauge" in prom
+        assert "repro_run_wall_seconds 12.5" in prom
+        assert "# TYPE repro_task_wall_seconds histogram" in prom
+        assert prom.endswith("\n")
+
+    def test_prometheus_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        for v in (0.005, 0.03, 0.03, 0.2):
+            reg.observe("h", v, buckets=(0.01, 0.05, 0.1))
+        prom = reg.to_prometheus(prefix="")
+        assert 'h_bucket{le="0.01"} 1' in prom
+        assert 'h_bucket{le="0.05"} 3' in prom
+        assert 'h_bucket{le="0.1"} 3' in prom
+        assert 'h_bucket{le="+Inf"} 4' in prom
+
+    def test_csv_export(self):
+        reg = self._populated()
+        csv_text = reg.to_csv()
+        assert csv_text.splitlines()[0] == "kind,name,value"
+        assert "counter,tasks_ok_total,5" in csv_text
+        assert "gauge,run_wall_seconds,12.5" in csv_text
+        assert "histogram_count,task_wall_seconds,1" in csv_text
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self):
+        import threading
+
+        reg = MetricsRegistry()
+
+        def bump():
+            for _ in range(1000):
+                reg.inc("n")
+                reg.observe("h", 0.5)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n") == 4000

@@ -1,0 +1,51 @@
+"""Profiling hook and clock tests."""
+
+import pstats
+import re
+
+import pytest
+
+from repro.obs import maybe_profile, clock
+
+
+class TestMaybeProfile:
+    def test_disabled_is_a_noop(self, tmp_path):
+        with maybe_profile(None, "task"):
+            pass
+        assert list(tmp_path.iterdir()) == []
+
+    def test_writes_loadable_pstats(self, tmp_path):
+        profile_dir = tmp_path / "profiles"
+        with maybe_profile(str(profile_dir), "table1"):
+            sum(range(1000))
+        stats = pstats.Stats(str(profile_dir / "table1.pstats"))
+        assert stats.total_calls > 0
+
+    def test_stats_flushed_even_on_raise(self, tmp_path):
+        profile_dir = tmp_path / "profiles"
+        with pytest.raises(RuntimeError):
+            with maybe_profile(str(profile_dir), "doomed"):
+                raise RuntimeError("boom")
+        assert (profile_dir / "doomed.pstats").exists()
+
+    def test_task_id_cannot_escape_profile_dir(self, tmp_path):
+        profile_dir = tmp_path / "profiles"
+        with maybe_profile(str(profile_dir), "../evil/task"):
+            pass
+        (artifact,) = list(profile_dir.iterdir())
+        assert artifact.parent == profile_dir
+
+
+class TestClock:
+    def test_new_id_is_16_hex_and_unique(self):
+        ids = {clock.new_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(re.fullmatch(r"[0-9a-f]{16}", i) for i in ids)
+
+    def test_utc_stamp_format(self):
+        assert re.fullmatch(r"\d{8}-\d{6}", clock.utc_stamp())
+
+    def test_monotonic_sources_advance(self):
+        assert clock.perf() <= clock.perf()
+        assert clock.monotonic() <= clock.monotonic()
+        assert clock.now() > 0

@@ -1,0 +1,138 @@
+"""Span tests: nesting, parent linkage, error capture, ambient no-op."""
+
+import pytest
+
+from repro.obs import (
+    ListSink,
+    Tracer,
+    current_tracer,
+    event,
+    reset_tracer,
+    set_tracer,
+    span,
+)
+
+
+def _spans(sink):
+    return [r for r in sink.records if r["type"] == "span"]
+
+
+class TestTracer:
+    def test_span_record_shape(self):
+        sink = ListSink()
+        tracer = Tracer(sink, trace_id="t1")
+        with tracer.span("mds.solve", n=10):
+            pass
+        (rec,) = _spans(sink)
+        assert rec["type"] == "span"
+        assert rec["name"] == "mds.solve"
+        assert rec["trace_id"] == "t1"
+        assert rec["n"] == 10
+        assert rec["status"] == "ok"
+        assert rec["parent_id"] is None
+        assert len(rec["span_id"]) == 16
+        assert rec["wall_s"] >= 0
+
+    def test_nesting_links_parent_ids(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = _spans(sink)  # inner closes (and emits) first
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert inner["trace_id"] == outer["trace_id"]
+
+    def test_siblings_share_parent(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, parent = _spans(sink)
+        assert a["parent_id"] == parent["span_id"]
+        assert b["parent_id"] == parent["span_id"]
+
+    def test_remote_parent_id_roots_top_level_spans(self):
+        # A worker's tracer is built with the parent process' span id.
+        sink = ListSink()
+        tracer = Tracer(sink, trace_id="t", parent_id="remote123")
+        with tracer.span("task:figure2"):
+            pass
+        (rec,) = _spans(sink)
+        assert rec["parent_id"] == "remote123"
+        assert rec["trace_id"] == "t"
+
+    def test_error_emits_span_with_error_status(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("nope")
+        (rec,) = _spans(sink)
+        assert rec["status"] == "error"
+        assert "ValueError" in rec["error"]
+
+    def test_handle_set_attaches_attributes(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("mds.solve") as handle:
+            handle.set(n_iter=42, converged=True)
+        (rec,) = _spans(sink)
+        assert rec["n_iter"] == 42
+        assert rec["converged"] is True
+
+    def test_handle_can_override_status(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("task:x") as handle:
+            handle.set(status="failed")
+        (rec,) = _spans(sink)
+        assert rec["status"] == "failed"
+
+    def test_event_records_current_span(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            tracer.event("fault_fired", fault="raise")
+        evt = [r for r in sink.records if r["type"] == "event"][0]
+        (outer,) = _spans(sink)
+        assert evt["kind"] == "fault_fired"
+        assert evt["fault"] == "raise"
+        assert evt["span_id"] == outer["span_id"]
+
+
+class TestAmbientApi:
+    def test_span_is_noop_without_tracer(self):
+        assert current_tracer() is None
+        with span("anything", n=1) as handle:
+            handle.set(extra=2)  # must not raise
+        event("nothing")  # must not raise
+
+    def test_ambient_span_delegates_to_installed_tracer(self):
+        sink = ListSink()
+        token = set_tracer(Tracer(sink, trace_id="amb"))
+        try:
+            with span("phase", k=1):
+                event("tick")
+        finally:
+            reset_tracer(token)
+        assert current_tracer() is None
+        kinds = [r["type"] for r in sink.records]
+        assert kinds == ["event", "span"]
+        assert sink.records[1]["trace_id"] == "amb"
+
+    def test_reset_restores_previous_tracer(self):
+        sink_a, sink_b = ListSink(), ListSink()
+        token_a = set_tracer(Tracer(sink_a))
+        token_b = set_tracer(Tracer(sink_b))
+        reset_tracer(token_b)
+        with span("back-on-a"):
+            pass
+        reset_tracer(token_a)
+        assert [r["name"] for r in _spans(sink_a)] == ["back-on-a"]
+        assert _spans(sink_b) == []

@@ -1,0 +1,118 @@
+"""Trace file tests: v2 round-trip, v1 back-compat, torn-tail tolerance."""
+
+import json
+
+import pytest
+
+from repro.obs import TRACE_SCHEMA_VERSION, Tracer, TraceWriter, read_trace, write_trace
+from repro.runtime.telemetry import Telemetry
+
+
+class TestStreamingRoundTrip:
+    def test_writer_streams_header_then_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path, trace_id="t0")
+        tracer = Tracer(writer, trace_id=writer.trace_id)
+        with tracer.span("task:figure2", task="figure2"):
+            with tracer.span("mds.solve"):
+                pass
+        trace = read_trace(path)
+        assert trace.schema == TRACE_SCHEMA_VERSION
+        assert trace.trace_id == "t0"
+        assert not trace.truncated
+        assert [s["name"] for s in trace.spans] == ["mds.solve", "task:figure2"]
+        assert trace.task_spans["figure2"]["name"] == "task:figure2"
+
+    def test_each_record_is_durable_immediately(self, tmp_path):
+        # Records land on disk as they are emitted, not at close (there
+        # is no close): a kill -9 after any emit loses nothing prior.
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path, trace_id="t0")
+        writer.emit({"type": "event", "kind": "probe"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["kind"] == "probe"
+
+    def test_two_writers_append_to_one_file(self, tmp_path):
+        # Parent writes the header; workers reopen with write_header=False.
+        path = tmp_path / "trace.jsonl"
+        parent = TraceWriter(path, trace_id="shared")
+        worker = TraceWriter(path, trace_id="shared", write_header=False)
+        parent.emit({"type": "event", "kind": "parent"})
+        worker.emit({"type": "event", "kind": "worker"})
+        trace = read_trace(path)
+        assert trace.trace_id == "shared"
+        assert [e["kind"] for e in trace.events] == ["parent", "worker"]
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_trace(tmp_path / "absent.jsonl")
+
+
+class TestSchemaV1Compat:
+    def test_reads_buffered_telemetry_output(self, tmp_path):
+        # The deprecated shim writes the full trace at run end; its task
+        # spans must keep working through the v2 reader.
+        path = tmp_path / "trace.jsonl"
+        t = Telemetry(clock=lambda: 1000.0)
+        t.span("figure1", status="ok", wall_s=1.25, cache_hit=True, retries=0, peak_rss_kb=1)
+        t.metric("cache_hits", 1)
+        t.write(path)
+        trace = read_trace(path)
+        assert trace.schema == TRACE_SCHEMA_VERSION  # shim writes a v2 header
+        assert trace.task_spans["figure1"]["cache_hit"] is True
+        # v1-style records are normalized: ids None, name synthesized.
+        rec = trace.task_spans["figure1"]
+        assert rec["name"] == "task:figure1"
+        assert rec["span_id"] is None and rec["parent_id"] is None
+
+    def test_headerless_v1_fragment_reports_schema_1(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = [
+            {"type": "span", "task": "table1", "status": "ok", "wall_s": 2.0, "ts": 1.0},
+            {"type": "metric", "name": "cache_hits", "value": 0, "ts": 1.0},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        trace = read_trace(path)
+        assert trace.schema == 1
+        assert trace.trace_id is None
+        assert trace.task_spans["table1"]["wall_s"] == 2.0
+
+    def test_write_trace_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, [{"type": "span", "task": "x", "status": "ok"}], trace_id="tid")
+        trace = read_trace(path)
+        assert trace.trace_id == "tid"
+        assert trace.schema == TRACE_SCHEMA_VERSION
+        assert "x" in trace.task_spans
+
+
+class TestTornTail:
+    def test_torn_final_line_is_tolerated_and_flagged(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path, trace_id="t0")
+        tracer = Tracer(writer, trace_id="t0")
+        with tracer.span("task:done", task="done"):
+            pass
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "span", "name": "torn')  # crash mid-append
+        trace = read_trace(path)
+        assert trace.truncated
+        assert "done" in trace.task_spans  # everything before the tear survives
+
+    def test_mid_file_garbage_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = TraceWriter(path, trace_id="t0")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+        writer.emit({"type": "event", "kind": "after"})
+        trace = read_trace(path)
+        assert trace.truncated
+        assert [e["kind"] for e in trace.events] == ["after"]
+
+    def test_non_dict_line_is_flagged(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('["a", "list"]\n')
+        trace = read_trace(path)
+        assert trace.truncated
+        assert trace.records == []
