@@ -3,7 +3,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: install test lint chaos bench obs-bench experiments experiments-quick quick results archive clean
+.PHONY: install test lint chaos bench obs-bench perf-bench experiments experiments-quick quick results archive clean
 
 install:
 	pip install -e .[test]
@@ -43,6 +43,12 @@ bench:
 # quick suite (< 5%) and records the numbers in BENCH_obs.json.
 obs-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/obs_overhead.py
+
+# Kernel speedup gate: times the vectorized kernels against their
+# *_reference implementations, writes BENCH_perf.json, and fails when
+# the >=5x SWF-ingest or >=3x SMACOF floor is missed.
+perf-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_kernels.py
 
 experiments:
 	$(PYTHON) -m repro.experiments --jobs $(JOBS) --out results --report results/SCORECARD.md

@@ -1,0 +1,69 @@
+"""Vectorized-kernel benchmarks and the hard speedup floors.
+
+Two layers: pytest-benchmark timings of the fast kernels themselves
+(tracked across runs like every other bench module), and the gated
+speedup assertions — the ≥5× SWF-ingest and ≥3× SMACOF floors the
+vectorization PR claims, measured against the retained ``*_reference``
+implementations exactly as ``make perf-bench`` measures them.
+"""
+
+import numpy as np
+import pytest
+
+from perf_kernels import (
+    TARGETS,
+    measure_rs_pox,
+    measure_smacof,
+    measure_swf_ingest,
+    synthetic_workload,
+)
+
+pytestmark = pytest.mark.benchmark(group="kernels")
+
+
+class TestKernelSpeedupFloors:
+    def test_swf_ingest_speedup_floor(self):
+        stats = measure_swf_ingest(reps=3)
+        assert stats["speedup"] >= TARGETS["swf_ingest"], stats
+
+    def test_smacof_speedup_floor(self):
+        stats = measure_smacof(reps=2)
+        assert stats["speedup"] >= TARGETS["smacof_n_init8"], stats
+
+    def test_rs_pox_is_faster(self):
+        # Informational kernel: no hard floor, but it must never regress
+        # below the reference loop.
+        stats = measure_rs_pox(reps=5)
+        assert stats["speedup"] >= 1.5, stats
+
+
+class TestKernelBench:
+    def test_bench_swf_parse_fast(self, benchmark, tmp_path):
+        from repro.workload.swf import read_swf, write_swf
+
+        path = tmp_path / "synthetic.swf"
+        write_swf(synthetic_workload(30_000), str(path))
+        w = benchmark(lambda: read_swf(str(path)))
+        assert len(w) == 30_000
+
+    def test_bench_swf_render_fast(self, benchmark):
+        from repro.workload.swf import render_swf_text
+
+        w = synthetic_workload(30_000)
+        text = benchmark(lambda: render_swf_text(w))
+        assert text.count("\n") >= 30_000
+
+    def test_bench_smacof_batched(self, benchmark):
+        from repro.coplot.mds.base import pairwise_euclidean
+        from repro.coplot.mds.smacof import smacof
+
+        d = pairwise_euclidean(np.random.default_rng(0).normal(size=(16, 5)))
+        result = benchmark(lambda: smacof(d, seed=1, n_init=8, engine="batched"))
+        assert result.coords.shape == (16, 2)
+
+    def test_bench_rs_pox_windowed(self, benchmark):
+        from repro.selfsim.rs_analysis import rs_pox_points
+
+        x = np.cumsum(np.random.default_rng(3).standard_normal(4_000))
+        log_ns, log_rs = benchmark(lambda: rs_pox_points(x))
+        assert log_ns.size == log_rs.size > 0

@@ -9,6 +9,12 @@ the dissimilarity order.  Two classic choices:
 * :func:`rank_image` — Guttman's approach (the one inside SSA): permute the
   *distances themselves* so their order matches the dissimilarity order;
   the disparities are then a rank-image of the distances.
+
+The public functions validate their inputs; the SMACOF engine calls the
+module-private unchecked kernels (``_pava``, ``_rank_image_unchecked``)
+because it constructs valid inputs itself and runs them inside the
+per-iteration hot loop.  :func:`isotonic_regression_reference` keeps the
+original scalar PAVA loop as the permanent equivalence oracle.
 """
 
 from __future__ import annotations
@@ -19,7 +25,75 @@ import numpy as np
 
 from repro.util.validation import check_1d
 
-__all__ = ["isotonic_regression", "rank_image"]
+__all__ = ["isotonic_regression", "isotonic_regression_reference", "rank_image"]
+
+
+def _check_weights(arr: np.ndarray, weights) -> np.ndarray:
+    if weights is None:
+        return np.ones_like(arr)
+    w = check_1d(weights, "weights")
+    if w.shape != arr.shape:
+        raise ValueError("weights must match y in length")
+    if np.any(w <= 0):
+        raise ValueError("weights must be positive")
+    return w
+
+
+def _pava(y: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Unchecked weighted PAVA: vectorized parallel block merging.
+
+    Every pass pools *all* adjacent violating blocks at once (pooling an
+    adjacent violator is always part of the optimal solution, so the
+    simultaneous merge is safe) and recomputes block means with
+    ``np.add.reduceat``; the loop runs for the depth of the violation
+    chains, not the element count, so no per-element Python work remains.
+    """
+    n = y.shape[0]
+    starts = np.arange(n)
+    wy = w * y
+    values = y
+    while True:
+        viol = values[:-1] > values[1:]
+        if not viol.any():
+            break
+        keep = np.ones(starts.shape[0], dtype=bool)
+        keep[1:][viol] = False
+        starts = starts[keep]
+        values = np.add.reduceat(wy, starts) / np.add.reduceat(w, starts)
+    counts = np.diff(np.append(starts, n))
+    return np.repeat(values, counts)
+
+
+def _pava_rows(y2d: np.ndarray) -> np.ndarray:
+    """Unchecked unweighted PAVA applied independently to every row.
+
+    One flat parallel block-merge over the whole ``(k, m)`` batch: block
+    boundaries at row starts are never merged away, so rows stay
+    independent and each row's result equals ``_pava(row, ones)`` — this
+    is what lets the batched SMACOF engine fit all restarts' disparities
+    in lockstep without a per-restart Python loop.
+    """
+    k, m = y2d.shape
+    flat = np.ascontiguousarray(y2d).ravel()
+    total = flat.shape[0]
+    starts = np.arange(total)
+    interior = np.ones(total, dtype=bool)
+    interior[::m] = False  # block starts a new row: never merged away
+    values = flat
+    counts = np.ones(total, dtype=np.int64)
+    while True:
+        viol = (values[:-1] > values[1:]) & interior[1:]
+        if not viol.any():
+            break
+        keep = np.ones(starts.shape[0], dtype=bool)
+        keep[1:][viol] = False
+        starts = starts[keep]
+        interior = interior[keep]
+        counts = np.empty(starts.shape[0], dtype=np.int64)
+        np.subtract(starts[1:], starts[:-1], out=counts[:-1])
+        counts[-1] = total - starts[-1]
+        values = np.add.reduceat(flat, starts) / counts
+    return np.repeat(values, counts).reshape(k, m)
 
 
 def isotonic_regression(y, weights=None) -> np.ndarray:
@@ -39,18 +113,22 @@ def isotonic_regression(y, weights=None) -> np.ndarray:
         The non-decreasing vector minimizing ``Σ w (fit - y)²``.
     """
     arr = check_1d(y, "y", min_len=1)
-    if weights is None:
-        w = np.ones_like(arr)
-    else:
-        w = check_1d(weights, "weights")
-        if w.shape != arr.shape:
-            raise ValueError("weights must match y in length")
-        if np.any(w <= 0):
-            raise ValueError("weights must be positive")
+    w = _check_weights(arr, weights)
+    return _pava(arr, w)
+
+
+def isotonic_regression_reference(y, weights=None) -> np.ndarray:
+    """The original scalar PAVA loop, kept as the equivalence oracle.
+
+    Maintains blocks as (value, weight, count) on an explicit stack and
+    merges backwards whenever a new block violates monotonicity.  Same
+    contract as :func:`isotonic_regression`; the property tests assert
+    the two agree on random inputs, weights and ties.
+    """
+    arr = check_1d(y, "y", min_len=1)
+    w = _check_weights(arr, weights)
 
     n = len(arr)
-    # Blocks are maintained as (value, weight, count) and merged backwards
-    # whenever a new block violates monotonicity.
     values = np.empty(n)
     wsums = np.empty(n)
     counts = np.empty(n, dtype=np.int64)
@@ -71,6 +149,13 @@ def isotonic_regression(y, weights=None) -> np.ndarray:
     return np.repeat(values[:top], counts[:top])
 
 
+def _rank_image_unchecked(d: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Rank-image kernel: no permutation re-verification (hot loop)."""
+    out = np.empty(d.shape[0])
+    out[order] = np.sort(d)
+    return out
+
+
 def rank_image(distances, order: Optional[np.ndarray] = None) -> np.ndarray:
     """Guttman's rank-image transform.
 
@@ -88,7 +173,5 @@ def rank_image(distances, order: Optional[np.ndarray] = None) -> np.ndarray:
         order = np.asarray(order)
         if sorted(order.tolist()) != list(range(n)):
             raise ValueError("order must be a permutation of 0..n-1")
-    out = np.empty(n)
     # Positions listed in dissimilarity order receive the sorted distances.
-    out[order] = np.sort(d)
-    return out
+    return _rank_image_unchecked(d, order)

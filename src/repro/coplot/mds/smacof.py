@@ -6,12 +6,21 @@ their order — via Kruskal isotonic regression or Guttman's rank-image — and
 (b) applies the Guttman transform, the closed-form minimizer of the stress
 majorization.  Multiple restarts (one deterministic from classical scaling,
 the rest random) guard against local minima; the best configuration is kept.
+
+Two engines share the public entry point: the default ``"batched"`` engine
+runs every restart in lockstep as one ``(k, n, dim)`` tensor — batched
+Guttman transforms, per-restart vectorized PAVA, cached ``triu`` indices,
+and no per-iteration input re-validation — while ``"reference"`` keeps the
+original one-restart-at-a-time scalar path as the permanent equivalence
+oracle (the property tests assert both select the same restart and agree
+on coordinates to 1e-9).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional
+from functools import lru_cache
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -23,20 +32,35 @@ from repro.coplot.mds.base import (
     upper_triangle,
 )
 from repro.coplot.mds.classical import classical_mds
-from repro.coplot.mds.monotone import isotonic_regression, rank_image
+from repro.coplot.mds.monotone import (
+    _pava_rows,
+    isotonic_regression_reference,
+    rank_image,
+)
 from repro.obs.spans import span as obs_span
 from repro.util.rng import SeedLike, as_generator
 
 __all__ = ["smacof"]
 
 _TRANSFORMS = ("metric", "isotonic", "rank-image")
+_ENGINES = ("batched", "reference")
+
+
+@lru_cache(maxsize=128)
+def _triu(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached strict-upper-triangle index pair for an n x n matrix.
+
+    ``np.triu_indices`` costs O(n²) and was recomputed on every SMACOF
+    iteration via ``_to_matrix``; the cache makes it once per size.
+    """
+    return np.triu_indices(n, k=1)
 
 
 def _disparities(
     sv: np.ndarray, dv: np.ndarray, transform: str
 ) -> np.ndarray:
     """Compute disparities for the current distances *dv* given
-    dissimilarities *sv*."""
+    dissimilarities *sv* (reference scalar path, one restart at a time)."""
     if transform == "metric":
         denom = float(np.sum(sv * sv))
         scale = float(np.sum(sv * dv)) / denom if denom > 0 else 1.0
@@ -47,7 +71,7 @@ def _disparities(
     order = np.lexsort((dv, sv))
     out = np.empty_like(dv)
     if transform == "isotonic":
-        out[order] = isotonic_regression(dv[order])
+        out[order] = isotonic_regression_reference(dv[order])
     elif transform == "rank-image":
         out = rank_image(dv, order)
     else:  # pragma: no cover - guarded by caller
@@ -69,7 +93,7 @@ def _guttman_transform(coords: np.ndarray, dhat_mat: np.ndarray) -> np.ndarray:
 
 def _to_matrix(flat: np.ndarray, n: int) -> np.ndarray:
     mat = np.zeros((n, n))
-    iu = np.triu_indices(n, k=1)
+    iu = _triu(n)
     mat[iu] = flat
     mat[(iu[1], iu[0])] = flat
     return mat
@@ -107,6 +131,173 @@ def _run_single(
     return coords, float(stress_prev), it, converged
 
 
+# ---------------------------------------------------------------------------
+# Batched engine: all restarts advance in lockstep as a (k, n, dim) tensor.
+# ---------------------------------------------------------------------------
+
+
+def _batched_pairwise(coords: np.ndarray) -> np.ndarray:
+    """(k, n, dim) configurations -> (k, n, n) Euclidean distances."""
+    diff = coords[:, :, None, :] - coords[:, None, :, :]
+    return np.sqrt((diff**2).sum(axis=3))
+
+
+class _OrderKeys:
+    """Loop-invariant keys for the batched per-row lexsort.
+
+    The row labels, tiled dissimilarities and row offsets only depend on
+    the batch shape, which shrinks as restarts converge; caching them per
+    size keeps the per-iteration cost to the lexsort itself.
+    """
+
+    def __init__(self, sv: np.ndarray):
+        self._sv = sv
+        self._by_size: dict = {}
+
+    def get(self, k: int) -> tuple:
+        keys = self._by_size.get(k)
+        if keys is None:
+            m = self._sv.shape[0]
+            rows = np.repeat(np.arange(k), m)
+            tiled = np.tile(self._sv, k)
+            offsets = (np.arange(k) * m)[:, None]
+            keys = (rows, tiled, offsets)
+            self._by_size[k] = keys
+        return keys
+
+
+def _batched_orders(dv: np.ndarray, keys: _OrderKeys) -> np.ndarray:
+    """Per-row ``lexsort((dv[j], sv))`` permutations, in one lexsort.
+
+    A single stable three-key sort (row, then sv, then dv) yields every
+    restart's dissimilarity order at once; within a row the permutation is
+    identical to the per-row call because lexsort is stable.
+    """
+    k, m = dv.shape
+    rows, tiled, offsets = keys.get(k)
+    order = np.lexsort((dv.ravel(), tiled, rows))
+    return order.reshape(k, m) - offsets
+
+
+def _batched_disparities(
+    sv: np.ndarray, dv: np.ndarray, transform: str, keys: _OrderKeys
+) -> np.ndarray:
+    """Disparities for a (k, m) batch of distance vectors."""
+    if transform == "metric":
+        denom = float(np.sum(sv * sv))
+        if denom > 0:
+            scale = np.sum(sv[None, :] * dv, axis=1) / denom
+        else:
+            scale = np.ones(dv.shape[0])
+        return sv[None, :] * scale[:, None]
+    orders = _batched_orders(dv, keys)
+    out = np.empty_like(dv)
+    if transform == "isotonic":
+        fits = _pava_rows(np.take_along_axis(dv, orders, axis=1))
+        np.put_along_axis(out, orders, fits, axis=1)
+    else:
+        # Rank-image: positions listed in dissimilarity order receive the
+        # sorted distances, batched over restarts.
+        np.put_along_axis(out, orders, np.sort(dv, axis=1), axis=1)
+    return out
+
+
+def _batched_stress(dhat: np.ndarray, dv: np.ndarray) -> np.ndarray:
+    """Row-wise Kruskal stress-1 for (k, m) disparity/distance batches."""
+    denom = np.sum(dv * dv, axis=1)
+    num = np.sum((dhat - dv) ** 2, axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        stress = np.sqrt(num / denom)
+    zero = denom == 0
+    if zero.any():
+        # Mirror kruskal_stress: all-zero distances give stress 0 when the
+        # disparities are also (numerically) zero, infinity otherwise.
+        for j in np.flatnonzero(zero):
+            stress[j] = 0.0 if np.allclose(dhat[j], 0) else math.inf
+    return stress
+
+
+def _to_matrix_batch(flat: np.ndarray, n: int) -> np.ndarray:
+    """(k, m) disparity vectors -> (k, n, n) symmetric matrices."""
+    iu = _triu(n)
+    mat = np.zeros((flat.shape[0], n, n))
+    mat[:, iu[0], iu[1]] = flat
+    mat[:, iu[1], iu[0]] = flat
+    return mat
+
+
+def _batched_guttman(
+    coords: np.ndarray, dhat_mat: np.ndarray, d: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Guttman transform for a (k, n, dim) batch with unit weights.
+
+    *d* lets the caller pass the distances it already computed for these
+    configurations this iteration instead of recomputing them.
+    """
+    n = coords.shape[1]
+    if d is None:
+        d = _batched_pairwise(coords)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(d > 0, dhat_mat / np.where(d > 0, d, 1.0), 0.0)
+    b = -ratio
+    ar = np.arange(n)
+    b[:, ar, ar] = 0.0
+    b[:, ar, ar] = -b.sum(axis=2)
+    return (b @ coords) / n
+
+
+def _run_batch(
+    sv: np.ndarray,
+    n: int,
+    starts: np.ndarray,
+    transform: str,
+    max_iter: int,
+    tol: float,
+) -> tuple:
+    """All restarts in lockstep; returns per-restart (coords, stress,
+    n_iter, converged) arrays matching what :func:`_run_single` would
+    produce for each start independently."""
+    k = starts.shape[0]
+    m = sv.shape[0]
+    coords = starts.copy()
+    stress_prev = np.full(k, math.inf)
+    n_iter = np.zeros(k, dtype=np.int64)
+    converged = np.zeros(k, dtype=bool)
+    active = np.ones(k, dtype=bool)
+    iu = _triu(n)
+    keys = _OrderKeys(sv)
+    for it in range(1, max_iter + 1):
+        idx = np.flatnonzero(active)
+        if idx.size == 0:
+            break
+        d = _batched_pairwise(coords[idx])
+        dv = d[:, iu[0], iu[1]]
+        dhat = _batched_disparities(sv, dv, transform, keys)
+        norm = np.sum(dhat * dhat, axis=1)
+        n_iter[idx] = it
+        # Restarts whose disparities collapsed stop exactly like the
+        # reference `break`: stress untouched, not converged.
+        live = norm > 0
+        if live.any():
+            li = np.flatnonzero(live)
+            dhat_l = dhat[li] * np.sqrt(m / norm[li])[:, None]
+            stress = _batched_stress(dhat_l, dv[li])
+            with np.errstate(invalid="ignore"):
+                newly_conv = np.abs(stress_prev[idx[li]] - stress) < tol
+            converged[idx[li[newly_conv]]] = True
+            stress_prev[idx[li]] = stress
+            go = li[~newly_conv]
+            if go.size:
+                gi = idx[go]
+                coords[gi] = _batched_guttman(
+                    coords[gi], _to_matrix_batch(dhat_l[~newly_conv], n), d=d[go]
+                )
+            active[idx[li[newly_conv]]] = False
+        active[idx[~live]] = False
+    coords = coords - coords.mean(axis=1, keepdims=True)
+    return coords, stress_prev, n_iter, converged
+
+
 def smacof(
     s,
     dim: int = 2,
@@ -118,6 +309,7 @@ def smacof(
     tol: float = 1e-9,
     select_by: str = "alienation",
     seed: SeedLike = None,
+    engine: str = "batched",
 ) -> MDSResult:
     """Run SMACOF MDS on a dissimilarity matrix.
 
@@ -145,6 +337,12 @@ def smacof(
         Kruskal stress.
     seed:
         RNG seed for the random restarts.
+    engine:
+        ``"batched"`` (default) advances all restarts in lockstep on
+        vectorized kernels; ``"reference"`` runs the original sequential
+        scalar path.  Both produce the same result (coords within 1e-9,
+        same selected restart); the reference engine exists so that stays
+        a tested property rather than a one-time claim.
 
     Returns
     -------
@@ -160,6 +358,8 @@ def smacof(
         raise ValueError(f"select_by must be 'alienation' or 'stress', got {select_by!r}")
     if n_init < 1:
         raise ValueError(f"n_init must be >= 1, got {n_init}")
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     sv = upper_triangle(mat)
     if np.all(sv == 0):
         # Degenerate: all observations identical; everything at the origin.
@@ -184,11 +384,24 @@ def smacof(
     best_key = math.inf
     # The SSA/SMACOF iteration loop is the engine's hottest path; the
     # ambient span makes it visible in streamed traces (no-op untraced).
-    with obs_span("mds.solve", transform=transform, n=n, starts=len(starts)) as handle:
-        for start in starts:
-            coords, stress, it, converged = _run_single(
-                sv, n, start, transform, max_iter, tol
+    with obs_span(
+        "mds.solve", transform=transform, n=n, starts=len(starts), engine=engine
+    ) as handle:
+        if engine == "batched":
+            stack = np.stack(starts)
+            all_coords, stresses, n_iters, convs = _run_batch(
+                sv, n, stack, transform, max_iter, tol
             )
+            runs = [
+                (all_coords[j], float(stresses[j]), int(n_iters[j]), bool(convs[j]))
+                for j in range(stack.shape[0])
+            ]
+        else:
+            runs = [
+                _run_single(sv, n, start, transform, max_iter, tol)
+                for start in starts
+            ]
+        for coords, stress, it, conv in runs:
             theta = coefficient_of_alienation(sv, upper_triangle(pairwise_euclidean(coords)))
             key = theta if select_by == "alienation" else stress
             if key < best_key:
@@ -198,7 +411,7 @@ def smacof(
                     alienation=theta,
                     stress=stress,
                     n_iter=it,
-                    converged=converged,
+                    converged=conv,
                 )
         assert best is not None
         handle.set(

@@ -24,6 +24,7 @@ experiment results.
 from repro.obs.diff import RunDiff, TaskDelta, diff_runs
 from repro.obs.metrics import METRICS_NAME, MetricsRegistry
 from repro.obs.profile import PROFILE_DIR_NAME, maybe_profile
+from repro.obs.prune import PrunePlan, RunDirInfo, discover_runs, execute_prune, plan_prune
 from repro.obs.spans import (
     ListSink,
     SpanHandle,
@@ -51,7 +52,9 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "ListSink",
     "MetricsRegistry",
+    "PrunePlan",
     "RunDiff",
+    "RunDirInfo",
     "SpanHandle",
     "TaskDelta",
     "Trace",
@@ -61,8 +64,11 @@ __all__ = [
     "current_tracer",
     "diff_runs",
     "digest",
+    "discover_runs",
     "event",
+    "execute_prune",
     "maybe_profile",
+    "plan_prune",
     "read_trace",
     "render_tree",
     "reset_tracer",

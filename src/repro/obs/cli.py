@@ -5,6 +5,7 @@ Subcommands::
     summarize PATH            render the span tree + critical path of a run
     diff A B                  compare two runs; exit 1 on a wall-time regression
     export PATH --format F    emit metrics (prom) or spans (csv)
+    prune OUT_DIR             delete old run dirs by count and/or age
 
 ``PATH`` is either a trace file (``trace.jsonl``) or a run directory
 (which holds ``trace.jsonl`` and ``metrics.json``); ``latest`` symlinks
@@ -21,8 +22,10 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.obs import clock
 from repro.obs.diff import DEFAULT_MIN_WALL_S, DEFAULT_THRESHOLD, diff_runs
 from repro.obs.metrics import METRICS_NAME, MetricsRegistry
+from repro.obs.prune import execute_prune, plan_prune
 from repro.obs.summary import summarize_trace
 from repro.obs.trace import TRACE_NAME, Trace, read_trace
 from repro.util.atomicio import atomic_write_text
@@ -146,6 +149,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_exp.add_argument("--output", metavar="FILE", default=None, help="write here (default stdout)")
 
+    p_prune = sub.add_parser(
+        "prune", help="delete old run directories under a results (--out) dir"
+    )
+    p_prune.add_argument("out_dir", metavar="OUT_DIR", help="results directory holding run-* dirs")
+    p_prune.add_argument(
+        "--keep-last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the N newest runs",
+    )
+    p_prune.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="delete runs whose name stamp is older than DAYS days",
+    )
+    p_prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list what would be deleted without touching anything",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "summarize":
@@ -165,6 +192,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"B: {_trace_path(args.run_b)}")
         print(result.render())
         return EXIT_REGRESSION if result.has_regressions else EXIT_OK
+
+    if args.command == "prune":
+        if args.keep_last is None and args.max_age_days is None:
+            parser.error("prune needs --keep-last and/or --max-age-days")
+        if args.keep_last is not None and args.keep_last < 0:
+            parser.error("--keep-last must be >= 0")
+        if args.max_age_days is not None and args.max_age_days < 0:
+            parser.error("--max-age-days must be >= 0")
+        if not os.path.isdir(args.out_dir):
+            parser.error(f"not a directory: {args.out_dir}")
+        plan = plan_prune(
+            args.out_dir,
+            keep_last=args.keep_last,
+            max_age_days=args.max_age_days,
+            now=clock.now(),
+        )
+        verb = "would delete" if args.dry_run else "deleted"
+        for run in plan.delete:
+            print(f"{verb} {run.name}")
+        if not args.dry_run:
+            execute_prune(plan)
+        total = len(plan.keep) + len(plan.delete)
+        print(
+            f"{verb} {len(plan.delete)} of {total} runs "
+            f"({plan.freed_bytes} bytes, {len(plan.keep)} kept)"
+        )
+        return EXIT_OK
 
     assert args.command == "export"
     trace = _load_trace(parser, args.path)

@@ -1,0 +1,160 @@
+"""Run-directory retention for ``--out`` results directories.
+
+Every experiment run creates a fresh ``run-<UTC>-seed<seed>`` directory
+under ``--out`` (see ``repro.experiments.runner``), so long-lived results
+directories grow without bound.  :func:`plan_prune` decides which run
+directories to drop — by count (``keep_last``: keep only the newest N)
+and/or by age (``max_age_days``: drop anything older) — and
+:func:`execute_prune` deletes them.  The run the ``latest`` symlink (or
+``LATEST`` file) points at is never deleted, whatever the criteria say.
+
+Run age comes from the UTC stamp embedded in the directory name, not
+from filesystem mtimes: the stamp is what the runner promises about
+creation order, and it survives copies and restores.  ``now`` is always
+an explicit argument — the CLI passes :func:`repro.obs.clock.now` — so
+planning stays deterministic and testable (REP003).
+"""
+
+from __future__ import annotations
+
+import calendar
+import os
+import re
+import shutil
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["RunDirInfo", "PrunePlan", "discover_runs", "plan_prune", "execute_prune"]
+
+#: Matches the runner's ``run-<YYYYmmdd>-<HHMMSS>-seed...`` naming (with
+#: optional ``-quick`` / same-second ``.N`` suffixes caught by the tail).
+_RUN_DIR_RE = re.compile(r"^run-(\d{8})-(\d{6})-seed.+$")
+
+
+@dataclass(frozen=True)
+class RunDirInfo:
+    """One run directory under a results dir."""
+
+    path: str
+    name: str
+    stamp: float  # epoch seconds parsed from the directory name
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class PrunePlan:
+    """The retention decision: which runs stay, which go."""
+
+    keep: Tuple[RunDirInfo, ...]
+    delete: Tuple[RunDirInfo, ...]
+
+    @property
+    def freed_bytes(self) -> int:
+        return sum(r.size_bytes for r in self.delete)
+
+
+def _stamp_epoch(name: str) -> Optional[float]:
+    match = _RUN_DIR_RE.match(name)
+    if not match:
+        return None
+    try:
+        parsed = time.strptime(match.group(1) + match.group(2), "%Y%m%d%H%M%S")
+    except ValueError:
+        return None
+    return float(calendar.timegm(parsed))
+
+
+def _dir_size(path: str) -> int:
+    total = 0
+    for root, _dirs, files in os.walk(path):
+        for fname in files:
+            try:
+                total += os.lstat(os.path.join(root, fname)).st_size
+            except OSError:
+                pass
+    return total
+
+
+def _protected_name(out_dir: str) -> Optional[str]:
+    """Basename of the run ``latest`` (or the ``LATEST`` file) points at."""
+    link = os.path.join(out_dir, "latest")
+    if os.path.islink(link):
+        try:
+            return os.path.basename(os.readlink(link))
+        except OSError:
+            return None
+    marker = os.path.join(out_dir, "LATEST")
+    try:
+        with open(marker, "r", encoding="utf-8") as fh:
+            name = fh.read().strip()
+        return name or None
+    except OSError:
+        return None
+
+
+def discover_runs(out_dir: str) -> List[RunDirInfo]:
+    """All run directories under *out_dir*, oldest first.
+
+    Only real directories whose names match the runner's stamp pattern
+    count; the ``latest`` symlink, result files, and foreign directories
+    are ignored rather than ever being deletion candidates.
+    """
+    runs: List[RunDirInfo] = []
+    for name in os.listdir(out_dir):
+        path = os.path.join(out_dir, name)
+        if os.path.islink(path) or not os.path.isdir(path):
+            continue
+        stamp = _stamp_epoch(name)
+        if stamp is None:
+            continue
+        runs.append(RunDirInfo(path=path, name=name, stamp=stamp, size_bytes=_dir_size(path)))
+    runs.sort(key=lambda r: (r.stamp, r.name))
+    return runs
+
+
+def plan_prune(
+    out_dir: str,
+    *,
+    keep_last: Optional[int] = None,
+    max_age_days: Optional[float] = None,
+    now: float,
+) -> PrunePlan:
+    """Decide which run directories to delete.
+
+    A run is dropped when it violates *any* given criterion: beyond the
+    newest *keep_last* runs, or older than *max_age_days* (measured from
+    *now* against the name stamp).  The ``latest`` target is always
+    kept.  At least one criterion must be given.
+    """
+    if keep_last is None and max_age_days is None:
+        raise ValueError("prune needs keep_last and/or max_age_days")
+    if keep_last is not None and keep_last < 0:
+        raise ValueError(f"keep_last must be >= 0, got {keep_last}")
+    if max_age_days is not None and max_age_days < 0:
+        raise ValueError(f"max_age_days must be >= 0, got {max_age_days}")
+    runs = discover_runs(out_dir)
+    protected = _protected_name(out_dir)
+    keep: List[RunDirInfo] = []
+    delete: List[RunDirInfo] = []
+    for rank, run in enumerate(reversed(runs)):  # rank 0 = newest
+        too_many = keep_last is not None and rank >= keep_last
+        too_old = (
+            max_age_days is not None and (now - run.stamp) > max_age_days * 86400.0
+        )
+        if (too_many or too_old) and run.name != protected:
+            delete.append(run)
+        else:
+            keep.append(run)
+    keep.reverse()
+    delete.reverse()
+    return PrunePlan(keep=tuple(keep), delete=tuple(delete))
+
+
+def execute_prune(plan: PrunePlan) -> List[str]:
+    """Delete every directory in ``plan.delete``; returns deleted names."""
+    deleted = []
+    for run in plan.delete:
+        shutil.rmtree(run.path)
+        deleted.append(run.name)
+    return deleted

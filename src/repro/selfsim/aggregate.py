@@ -15,6 +15,12 @@ from repro.util.validation import check_1d
 __all__ = ["aggregate_series", "autocorrelation"]
 
 
+def _aggregate_unchecked(arr: np.ndarray, m: int) -> np.ndarray:
+    """Block-mean kernel for validated inputs (hot-loop path)."""
+    n_blocks = arr.shape[0] // m
+    return arr[: n_blocks * m].reshape(n_blocks, m).mean(axis=1)
+
+
 def aggregate_series(x, m: int) -> np.ndarray:
     """The m-aggregated series X^(m): means of non-overlapping blocks.
 
@@ -24,10 +30,9 @@ def aggregate_series(x, m: int) -> np.ndarray:
     arr = check_1d(x, "x", min_len=1)
     if m < 1:
         raise ValueError(f"m must be >= 1, got {m}")
-    n_blocks = arr.shape[0] // m
-    if n_blocks == 0:
+    if arr.shape[0] // m == 0:
         raise ValueError(f"series of length {arr.shape[0]} has no complete block of size {m}")
-    return arr[: n_blocks * m].reshape(n_blocks, m).mean(axis=1)
+    return _aggregate_unchecked(arr, m)
 
 
 def autocorrelation(x, max_lag: int) -> np.ndarray:

@@ -13,11 +13,27 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.selfsim.aggregate import aggregate_series
+from repro.selfsim.aggregate import _aggregate_unchecked, aggregate_series
 from repro.stats.regression import LinearFit, linear_fit
 from repro.util.validation import check_1d
 
-__all__ = ["variance_time_points", "hurst_variance_time"]
+__all__ = [
+    "variance_time_points",
+    "variance_time_points_reference",
+    "hurst_variance_time",
+]
+
+
+def _vt_sizes(n: int, min_blocks: int, n_sizes: int) -> np.ndarray:
+    max_m = n // min_blocks
+    if max_m < 2:
+        raise ValueError(
+            f"series of length {n} too short for variance-time analysis "
+            f"(need at least {2 * min_blocks} points)"
+        )
+    return np.unique(
+        np.round(np.exp(np.linspace(0.0, np.log(max_m), n_sizes))).astype(int)
+    )
 
 
 def variance_time_points(
@@ -29,22 +45,32 @@ def variance_time_points(
     """(log m, log Var(X^(m))) pairs for log-spaced block sizes m.
 
     Block sizes run from 1 up to n/*min_blocks*, so every variance is
-    estimated from at least *min_blocks* aggregated points.
+    estimated from at least *min_blocks* aggregated points.  The series
+    is validated once; each block size then runs the unchecked
+    reshape-and-reduce aggregation kernel.
     """
     arr = check_1d(x, "x", min_len=2)
-    n = arr.shape[0]
-    max_m = n // min_blocks
-    if max_m < 2:
-        raise ValueError(
-            f"series of length {n} too short for variance-time analysis "
-            f"(need at least {2 * min_blocks} points)"
-        )
-    sizes = np.unique(
-        np.round(np.exp(np.linspace(0.0, np.log(max_m), n_sizes))).astype(int)
-    )
     log_m = []
     log_var = []
-    for m in sizes:
+    for m in _vt_sizes(arr.shape[0], min_blocks, n_sizes):
+        v = float(_aggregate_unchecked(arr, int(m)).var())
+        if v > 0:
+            log_m.append(np.log(m))
+            log_var.append(np.log(v))
+    return np.asarray(log_m), np.asarray(log_var)
+
+
+def variance_time_points_reference(
+    x,
+    *,
+    min_blocks: int = 8,
+    n_sizes: int = 20,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Original loop with per-size validated aggregation (oracle)."""
+    arr = check_1d(x, "x", min_len=2)
+    log_m = []
+    log_var = []
+    for m in _vt_sizes(arr.shape[0], min_blocks, n_sizes):
         agg = aggregate_series(arr, int(m))
         v = float(agg.var())
         if v > 0:

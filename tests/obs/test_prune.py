@@ -1,0 +1,139 @@
+"""Tests for ``repro.obs.prune`` and the ``prune`` CLI subcommand."""
+
+import os
+
+import pytest
+
+from repro.obs.cli import EXIT_OK, main
+from repro.obs.prune import discover_runs, execute_prune, plan_prune
+
+# Epoch of 2026-01-10 00:00:00 UTC, the "now" all planning tests use.
+NOW = 1767996000.0
+
+
+def _mk_run(out_dir, name, *, payload_bytes=16):
+    run = out_dir / name
+    run.mkdir()
+    (run / "trace.jsonl").write_bytes(b"x" * payload_bytes)
+    return run
+
+
+def _stamped(day, *, seed=0, suffix=""):
+    return f"run-202601{day:02d}-120000-seed{seed}{suffix}"
+
+
+class TestDiscover:
+    def test_finds_only_stamped_run_dirs(self, tmp_path):
+        _mk_run(tmp_path, _stamped(1))
+        _mk_run(tmp_path, _stamped(3, suffix="-quick"))
+        _mk_run(tmp_path, _stamped(2, suffix=".2"))
+        (tmp_path / "not-a-run").mkdir()
+        (tmp_path / "run-garbage").mkdir()
+        (tmp_path / "results.txt").write_text("x")
+        runs = discover_runs(str(tmp_path))
+        assert [r.name for r in runs] == [_stamped(1), _stamped(2, suffix=".2"), _stamped(3, suffix="-quick")]
+
+    def test_latest_symlink_is_not_a_candidate(self, tmp_path):
+        target = _mk_run(tmp_path, _stamped(1))
+        os.symlink(target.name, tmp_path / "latest", target_is_directory=True)
+        assert [r.name for r in discover_runs(str(tmp_path))] == [_stamped(1)]
+
+    def test_sizes_are_recursive(self, tmp_path):
+        run = _mk_run(tmp_path, _stamped(1), payload_bytes=10)
+        (run / "sub").mkdir()
+        (run / "sub" / "blob").write_bytes(b"y" * 30)
+        (runs,) = discover_runs(str(tmp_path))
+        assert runs.size_bytes == 40
+
+
+class TestPlan:
+    def test_keep_last_keeps_newest(self, tmp_path):
+        for day in (1, 2, 3, 4):
+            _mk_run(tmp_path, _stamped(day))
+        plan = plan_prune(str(tmp_path), keep_last=2, now=NOW)
+        assert [r.name for r in plan.delete] == [_stamped(1), _stamped(2)]
+        assert [r.name for r in plan.keep] == [_stamped(3), _stamped(4)]
+
+    def test_max_age_uses_name_stamp(self, tmp_path):
+        _mk_run(tmp_path, _stamped(1))  # 9 days before NOW
+        _mk_run(tmp_path, _stamped(8))  # 2 days before NOW
+        plan = plan_prune(str(tmp_path), max_age_days=5, now=NOW)
+        assert [r.name for r in plan.delete] == [_stamped(1)]
+        assert [r.name for r in plan.keep] == [_stamped(8)]
+
+    def test_either_criterion_deletes(self, tmp_path):
+        for day in (1, 7, 8, 9):
+            _mk_run(tmp_path, _stamped(day))
+        # day 1 is too old; day 7 is within age but beyond keep_last=2.
+        plan = plan_prune(str(tmp_path), keep_last=2, max_age_days=5, now=NOW)
+        assert [r.name for r in plan.delete] == [_stamped(1), _stamped(7)]
+
+    def test_latest_target_is_protected(self, tmp_path):
+        for day in (1, 2, 3):
+            _mk_run(tmp_path, _stamped(day))
+        os.symlink(_stamped(1), tmp_path / "latest", target_is_directory=True)
+        plan = plan_prune(str(tmp_path), keep_last=1, now=NOW)
+        assert [r.name for r in plan.delete] == [_stamped(2)]
+        assert {r.name for r in plan.keep} == {_stamped(1), _stamped(3)}
+
+    def test_latest_marker_file_is_protected(self, tmp_path):
+        for day in (1, 2):
+            _mk_run(tmp_path, _stamped(day))
+        (tmp_path / "LATEST").write_text(_stamped(1) + "\n")
+        plan = plan_prune(str(tmp_path), keep_last=1, now=NOW)
+        assert plan.delete == ()
+
+    def test_requires_a_criterion(self, tmp_path):
+        with pytest.raises(ValueError):
+            plan_prune(str(tmp_path), now=NOW)
+
+    def test_rejects_negative_criteria(self, tmp_path):
+        with pytest.raises(ValueError):
+            plan_prune(str(tmp_path), keep_last=-1, now=NOW)
+        with pytest.raises(ValueError):
+            plan_prune(str(tmp_path), max_age_days=-0.5, now=NOW)
+
+    def test_freed_bytes_sums_deletions(self, tmp_path):
+        _mk_run(tmp_path, _stamped(1), payload_bytes=100)
+        _mk_run(tmp_path, _stamped(2), payload_bytes=7)
+        plan = plan_prune(str(tmp_path), keep_last=1, now=NOW)
+        assert plan.freed_bytes == 100
+
+
+class TestExecute:
+    def test_deletes_planned_dirs_only(self, tmp_path):
+        for day in (1, 2, 3):
+            _mk_run(tmp_path, _stamped(day))
+        plan = plan_prune(str(tmp_path), keep_last=1, now=NOW)
+        deleted = execute_prune(plan)
+        assert deleted == [_stamped(1), _stamped(2)]
+        assert sorted(os.listdir(tmp_path)) == [_stamped(3)]
+
+
+class TestCli:
+    def test_prune_deletes_and_reports(self, tmp_path, capsys):
+        for day in (1, 2, 3):
+            _mk_run(tmp_path, _stamped(day))
+        assert main(["prune", str(tmp_path), "--keep-last", "1"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert f"deleted {_stamped(1)}" in out
+        assert "deleted 2 of 3 runs" in out
+        assert sorted(os.listdir(tmp_path)) == [_stamped(3)]
+
+    def test_dry_run_touches_nothing(self, tmp_path, capsys):
+        for day in (1, 2):
+            _mk_run(tmp_path, _stamped(day))
+        assert main(["prune", str(tmp_path), "--keep-last", "1", "--dry-run"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert f"would delete {_stamped(1)}" in out
+        assert sorted(os.listdir(tmp_path)) == [_stamped(1), _stamped(2)]
+
+    def test_missing_criteria_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["prune", str(tmp_path)])
+        assert exc.value.code == 2
+
+    def test_missing_dir_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["prune", str(tmp_path / "nope"), "--keep-last", "1"])
+        assert exc.value.code == 2
