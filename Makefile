@@ -3,7 +3,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: install test lint chaos bench obs-bench perf-bench experiments experiments-quick quick results archive clean
+.PHONY: install test lint chaos bench obs-bench perf-bench service-smoke experiments experiments-quick quick results archive clean
 
 install:
 	pip install -e .[test]
@@ -22,6 +22,13 @@ lint:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		PYTHONPATH=src $(PYTHON) -m mypy src/repro/lint; \
 	else echo "mypy not installed -- skipping"; fi
+
+# End-to-end service check: boots the HTTP API on an ephemeral port,
+# drives upload -> poll -> JSON/SVG result over urllib, and proves the
+# identical resubmission was a cache hit via the /metrics counters.
+# Nonzero on the first broken invariant; state is kept for artifacts.
+service-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.service.smoke --state-dir results/service-smoke
 
 # Failure drills: fault injection, kill-and-resume, cache contention.
 # pytest-timeout (when installed) backstops a hang in the drills

@@ -39,7 +39,7 @@ from repro.coplot.mds import (
 from repro.coplot.arrows import Arrow, fit_arrows, fit_arrow, angle_between, arrow_correlation_matrix
 from repro.coplot.model import Coplot, CoplotResult
 from repro.coplot.selection import eliminate_variables, best_subset, SubsetScore
-from repro.coplot.render import render_ascii_map, coplot_to_csv, coplot_to_svg
+from repro.coplot.render import render_ascii_map, coplot_to_csv, coplot_to_svg, coplot_to_svg_bytes
 from repro.coplot.procrustes import procrustes_align, procrustes_disparity
 from repro.coplot.extend import project_observation, bootstrap_stability, StabilityReport
 
@@ -72,6 +72,7 @@ __all__ = [
     "render_ascii_map",
     "coplot_to_csv",
     "coplot_to_svg",
+    "coplot_to_svg_bytes",
     "procrustes_align",
     "procrustes_disparity",
     "project_observation",

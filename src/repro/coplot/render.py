@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.coplot.model import CoplotResult
 
-__all__ = ["render_ascii_map", "coplot_to_csv", "coplot_to_svg"]
+__all__ = ["render_ascii_map", "coplot_to_csv", "coplot_to_svg", "coplot_to_svg_bytes"]
 
 
 def render_ascii_map(
@@ -154,6 +154,23 @@ def coplot_to_svg(
     )
     parts.append("</svg>")
     return "\n".join(parts)
+
+
+def coplot_to_svg_bytes(
+    result: CoplotResult,
+    *,
+    size: int = 640,
+    margin: int = 60,
+    arrow_length: Optional[float] = None,
+) -> bytes:
+    """Render the map as UTF-8 SVG bytes, entirely in memory.
+
+    The transport-ready form of :func:`coplot_to_svg`: an HTTP handler
+    or file writer gets the finished document without a tempfile
+    round-trip (pair with ``atomic_write_bytes`` to persist it).
+    """
+    doc = coplot_to_svg(result, size=size, margin=margin, arrow_length=arrow_length)
+    return doc.encode("utf-8")
 
 
 def _esc(text: str) -> str:

@@ -59,7 +59,7 @@ from repro.runtime import (
     longest_first,
     parse_chaos_spec,
 )
-from repro.util.atomicio import atomic_write_text
+from repro.util.atomicio import atomic_symlink, atomic_write_text
 
 __all__ = ["main"]
 
@@ -96,9 +96,10 @@ def _prepare_run_dir(out_dir: str, *, seed: int, quick: bool) -> str:
     os.makedirs(run_dir)
     link = os.path.join(out_dir, "latest")
     try:
-        if os.path.islink(link) or os.path.exists(link):
-            os.remove(link)
-        os.symlink(os.path.basename(run_dir), link, target_is_directory=True)
+        # Atomic replace: concurrent runs (e.g. service requests sharing
+        # an --out root) each land a complete link instead of racing on
+        # unlink+symlink and crashing on FileExistsError.
+        atomic_symlink(os.path.basename(run_dir), link, target_is_directory=True)
     except OSError:  # filesystems without symlink support
         atomic_write_text(os.path.join(out_dir, "LATEST"), os.path.basename(run_dir) + "\n")
     return run_dir

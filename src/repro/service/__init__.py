@@ -1,0 +1,41 @@
+"""repro.service — co-plot analyses as a multi-tenant HTTP service.
+
+A dependency-free (stdlib ``http.server``) API in front of the
+experiment engine: clients POST an SWF upload or a named workload /
+model / experiment reference plus an analysis spec, poll the returned
+job id, and fetch the JSON payload or rendered SVG map.  Jobs run on a
+bounded worker pool, route through the content-addressed runtime cache
+(identical requests are cache hits, never recomputes), journal every
+state transition so a restarted server picks up where it left off, and
+publish Prometheus metrics plus request→job→task trace spans.
+
+Start one with ``python -m repro.service``; see docs/SERVICE.md.
+"""
+
+from repro.service.analyses import (
+    ANALYSIS_KINDS,
+    AnalysisSpec,
+    compute_analysis,
+    parse_analysis_request,
+    spec_cache_key,
+)
+from repro.service.app import DEFAULT_MAX_BODY_BYTES, ServiceApp, make_server
+from repro.service.errors import CODES, ServiceError
+from repro.service.jobs import JobRunner
+from repro.service.store import JOB_STATES, JobStore
+
+__all__ = [
+    "ANALYSIS_KINDS",
+    "CODES",
+    "DEFAULT_MAX_BODY_BYTES",
+    "JOB_STATES",
+    "AnalysisSpec",
+    "JobRunner",
+    "JobStore",
+    "ServiceApp",
+    "ServiceError",
+    "compute_analysis",
+    "make_server",
+    "parse_analysis_request",
+    "spec_cache_key",
+]

@@ -1,0 +1,95 @@
+"""``python -m repro.service`` — boot the analysis service.
+
+Runs :class:`repro.service.app.ServiceApp` behind a threading HTTP
+server and drains gracefully on SIGTERM/SIGINT: the listener stops
+accepting connections, queued and running jobs finish, journals and
+traces are flushed, then the process exits 0.  A second signal during
+the drain aborts immediately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+from typing import List, Optional
+
+from repro.service.app import DEFAULT_MAX_BODY_BYTES, ServiceApp, make_server
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve co-plot analyses over HTTP (see docs/SERVICE.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default %(default)s)")
+    parser.add_argument(
+        "--port", type=int, default=8742, help="bind port, 0 for ephemeral (default %(default)s)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="analysis worker threads (default %(default)s)"
+    )
+    parser.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=DEFAULT_MAX_BODY_BYTES,
+        help="largest accepted request body (default %(default)s)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default="service-state",
+        help="journal, uploads, runs and trace live here (default %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="runtime result cache root (default <state-dir>/cache)",
+    )
+    parser.add_argument(
+        "--job-timeout-s",
+        type=float,
+        default=None,
+        help="soft per-job wall-clock limit in seconds (default none)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    app = ServiceApp(
+        args.state_dir,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        max_body_bytes=args.max_body_bytes,
+        job_timeout_s=args.job_timeout_s,
+    )
+    server = make_server(app, args.host, args.port)
+    host, port = server.server_address[:2]
+    stop = threading.Event()
+
+    def _request_stop(signum: int, frame: object) -> None:
+        if stop.is_set():  # second signal: give up on the drain
+            raise SystemExit(130)
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, _request_stop)
+
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+    print(
+        f"repro.service listening on http://{host}:{port} "
+        f"(state={args.state_dir}, workers={args.workers}, "
+        f"recovered={app.recovered_jobs})",
+        flush=True,
+    )
+    stop.wait()
+    print("repro.service draining...", flush=True)
+    server.shutdown()
+    server.server_close()
+    app.close(wait=True)
+    serve_thread.join(timeout=5)
+    print("repro.service stopped", flush=True)
+    return 0

@@ -1,0 +1,59 @@
+"""Uniform structured errors for the HTTP service.
+
+Every failure the API reports — bad JSON, an oversized body, an unknown
+job, a malformed SWF upload — travels as one shape::
+
+    {"error": {"code": "<stable-code>", "message": "<human text>", ...}}
+
+with a matching HTTP status.  Codes are part of the API contract
+(documented in docs/SERVICE.md): clients branch on ``code``, never on
+message text, so messages can improve without breaking anyone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["CODES", "ServiceError"]
+
+#: Stable error codes and their canonical HTTP status.
+CODES: Dict[str, int] = {
+    "invalid_json": 400,
+    "invalid_spec": 400,
+    "bad_swf": 400,
+    "length_required": 411,
+    "payload_too_large": 413,
+    "unsupported_media_type": 415,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "already_in_flight": 409,
+    "result_not_ready": 409,
+    "no_svg": 404,
+    "result_evicted": 410,
+    "job_failed": 500,
+    "timeout": 500,
+    "shutting_down": 503,
+    "internal": 500,
+}
+
+
+class ServiceError(Exception):
+    """One API failure with a stable code, HTTP status and extra fields.
+
+    ``extra`` rides along in the error object (e.g. the existing
+    ``job_id`` on an ``already_in_flight`` conflict), so a structured
+    client never has to parse the message.
+    """
+
+    def __init__(self, code: str, message: str, **extra: Any) -> None:
+        if code not in CODES:
+            raise ValueError(f"unknown service error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.status = CODES[code]
+        self.message = message
+        self.extra = dict(extra)
+
+    def body(self) -> Dict[str, Any]:
+        """The JSON-safe response document for this error."""
+        return {"error": {"code": self.code, "message": self.message, **self.extra}}

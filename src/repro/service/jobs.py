@@ -1,0 +1,220 @@
+"""The service's bounded worker pool and per-job orchestration.
+
+A :class:`JobRunner` owns a fixed-size thread pool.  Each accepted
+submission becomes one journaled job record (:mod:`repro.service.store`)
+and one pool task; the worker
+
+1. marks the job ``running``,
+2. installs a tracer whose parent is the *submitting request's* span —
+   so the trace nests request → job → ``task:...`` → cache phases,
+3. executes the spec through :func:`repro.service.analyses.compute_analysis`
+   (which routes through the runtime cache: repeats are hits),
+4. writes the result into a fresh stamped run directory under
+   ``<state-dir>/runs/`` and atomically repoints ``runs/latest``,
+5. journals the terminal state (``done``/``error``) with the cache key,
+   wall time and hit flag, and bumps the service counters the
+   acceptance tests scrape from ``/metrics``.
+
+Timeouts are *soft*: Python threads cannot be killed, so a job whose
+compute outlives ``job_timeout_s`` finishes its work but lands in state
+``error`` with code ``timeout`` (its result is discarded from the job's
+point of view; the cache entry it may have published stays valid).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs import MetricsRegistry, Tracer, TraceWriter, reset_tracer, set_tracer, span
+from repro.obs import clock as obs_clock
+from repro.service.analyses import AnalysisSpec, compute_analysis
+from repro.service.errors import ServiceError
+from repro.service.store import JobStore
+from repro.util.atomicio import atomic_symlink, atomic_write_bytes, atomic_write_text
+
+__all__ = ["RUNS_DIR_NAME", "JobRunner"]
+
+#: Per-job run directories live here, inside the service state dir.
+RUNS_DIR_NAME = "runs"
+
+#: Histogram buckets for job wall time (seconds).
+_JOB_BUCKETS = (0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
+
+
+class JobRunner:
+    """Executes journaled analysis jobs on a bounded thread pool."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        metrics: MetricsRegistry,
+        writer: TraceWriter,
+        *,
+        cache_dir: str,
+        fingerprint: str,
+        workers: int = 4,
+        job_timeout_s: Optional[float] = None,
+        before_execute: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.metrics = metrics
+        self.writer = writer
+        self.cache_dir = cache_dir
+        self.fingerprint = fingerprint
+        self.job_timeout_s = job_timeout_s
+        #: Test/diagnostic seam: runs in the worker before a job starts.
+        self.before_execute = before_execute
+        self.runs_dir = os.path.join(store.state_dir, RUNS_DIR_NAME)
+        os.makedirs(self.runs_dir, exist_ok=True)
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-service"
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def submit(self, job_id: str) -> None:
+        """Queue one already-journaled job for execution."""
+        if self._closed:
+            raise ServiceError("shutting_down", "server is draining; try again later")
+        self._pool.submit(self._execute, job_id)
+
+    def recover(self) -> int:
+        """Re-enqueue jobs the journal says never finished (restart path).
+
+        A job that was ``queued`` or ``running`` when the previous
+        process died is resubmitted — its spec and upload are durable,
+        and the runtime cache makes any work it had completed free.
+        Returns the number of jobs re-enqueued.
+        """
+        resumed = 0
+        for record in self.store.jobs():
+            if record.get("status") not in ("queued", "running"):
+                continue
+            self.store.update(record["id"], status="queued", recovered=True)
+            self.submit(record["id"])
+            resumed += 1
+        return resumed
+
+    def drain(self, *, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for the pool to empty."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(self, job_id: str) -> None:
+        record = self.store.get(job_id)
+        if record is None:  # pragma: no cover - defensive
+            return
+        if self.before_execute is not None:
+            self.before_execute(job_id)
+        started = time.time()
+        t0 = time.monotonic()
+        self.store.update(job_id, status="running", started_ts=round(started, 6))
+        tracer = Tracer(
+            self.writer,
+            trace_id=self.writer.trace_id,
+            parent_id=record.get("request_span_id"),
+        )
+        token = set_tracer(tracer)
+        try:
+            spec = AnalysisSpec(
+                kind=record["kind"],
+                input=record["spec"]["input"],
+                params=record["spec"]["params"],
+            )
+            with span(f"job:{job_id}", job=job_id, kind=spec.kind) as handle:
+                payload, hit, key = compute_analysis(
+                    spec,
+                    cache_dir=self.cache_dir,
+                    fingerprint=self.fingerprint,
+                    uploads_dir=self.store.uploads_dir,
+                )
+                handle.set(cache_hit=hit)
+            elapsed = time.monotonic() - t0
+            if self.job_timeout_s is not None and elapsed > self.job_timeout_s:
+                raise ServiceError(
+                    "timeout",
+                    f"job exceeded its {self.job_timeout_s:.1f}s limit "
+                    f"({elapsed:.1f}s); result discarded",
+                )
+            run_dir = self._write_run_dir(job_id, spec, payload)
+            self.store.update(
+                job_id,
+                status="done",
+                finished_ts=round(time.time(), 6),
+                wall_s=round(elapsed, 6),
+                cache_hit=hit,
+                key=key,
+                run_dir=run_dir,
+            )
+            self.metrics.inc("analyses_completed_total")
+            self.metrics.inc(
+                "analysis_cache_hits_total" if hit else "analysis_compute_total"
+            )
+            self.metrics.observe("job_seconds", elapsed, buckets=_JOB_BUCKETS)
+        except BaseException as exc:
+            elapsed = time.monotonic() - t0
+            if isinstance(exc, ServiceError):
+                error = {"code": exc.code, "message": exc.message}
+            else:
+                error = {"code": "job_failed", "message": f"{type(exc).__name__}: {exc}"}
+            self.store.update(
+                job_id,
+                status="error",
+                finished_ts=round(time.time(), 6),
+                wall_s=round(elapsed, 6),
+                error=error,
+            )
+            self.metrics.inc("analyses_failed_total")
+            self.metrics.observe("job_seconds", elapsed, buckets=_JOB_BUCKETS)
+        finally:
+            reset_tracer(token)
+
+    def _write_run_dir(self, job_id: str, spec: AnalysisSpec, payload: Dict[str, Any]) -> str:
+        """Persist one job's outputs into a fresh stamped run directory.
+
+        Mirrors the CLI runner's ``--out`` layout: a wall-clock stamped
+        directory per request plus a ``latest`` symlink — updated with
+        :func:`atomic_symlink`, since concurrent jobs finish concurrently.
+        """
+        name = f"job-{obs_clock.utc_stamp()}-{job_id[:8]}"
+        run_dir = os.path.join(self.runs_dir, name)
+        suffix = 1
+        while os.path.exists(run_dir):  # same-second job: never clobber
+            suffix += 1
+            run_dir = os.path.join(self.runs_dir, f"{name}.{suffix}")
+        os.makedirs(run_dir)
+        atomic_write_text(
+            os.path.join(run_dir, "result.json"),
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+        )
+        artifacts = payload.get("artifacts") or {}
+        if "svg" in artifacts:
+            atomic_write_bytes(
+                os.path.join(run_dir, "result.svg"), artifacts["svg"].encode("utf-8")
+            )
+        if "csv" in artifacts:
+            atomic_write_text(os.path.join(run_dir, "result.csv"), artifacts["csv"])
+        atomic_write_text(
+            os.path.join(run_dir, "spec.json"),
+            json.dumps(spec.canonical(), sort_keys=True, indent=2) + "\n",
+        )
+        try:
+            atomic_symlink(
+                os.path.basename(run_dir),
+                os.path.join(self.runs_dir, "latest"),
+                target_is_directory=True,
+            )
+        except OSError:  # filesystems without symlink support
+            atomic_write_text(
+                os.path.join(self.runs_dir, "LATEST"), os.path.basename(run_dir) + "\n"
+            )
+        return run_dir

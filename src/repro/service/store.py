@@ -1,0 +1,174 @@
+"""Journal-backed job store: the service's durable state.
+
+Every job state transition is one fsync'd JSON line appended to
+``<state-dir>/jobs.jsonl`` — the same crash-semantics as the runtime's
+run journal (:mod:`repro.runtime.journal`): a SIGKILL can tear at most
+the line being written, later records for a job supersede earlier ones,
+and a restarted server replays the file to recover exactly what every
+job was doing.  Results themselves are *not* stored here: a finished
+job records the runtime-cache key its payload was published under, so
+result reads after a restart are cache reads.
+
+Uploads are spooled content-addressed into ``<state-dir>/uploads/`` as
+``<sha256>.swf`` (decompressed bytes), which both deduplicates repeated
+uploads of the same log and lets a re-enqueued job find its input after
+a crash.
+
+The store is thread-safe: the HTTP handler threads and the worker pool
+all funnel through one lock for the in-memory map and the append fd.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.util.atomicio import atomic_write_bytes
+
+__all__ = ["JOBS_JOURNAL_NAME", "JobStore", "UPLOADS_DIR_NAME"]
+
+#: Journal file name inside the service state directory.
+JOBS_JOURNAL_NAME = "jobs.jsonl"
+
+#: Upload spool directory name inside the service state directory.
+UPLOADS_DIR_NAME = "uploads"
+
+#: Job lifecycle states.
+JOB_STATES = ("queued", "running", "done", "error")
+
+
+class JobStore:
+    """Append-only journal plus in-memory index of analysis jobs."""
+
+    def __init__(self, state_dir: str) -> None:
+        self.state_dir = state_dir
+        self.uploads_dir = os.path.join(state_dir, UPLOADS_DIR_NAME)
+        os.makedirs(self.uploads_dir, exist_ok=True)
+        self.path = os.path.join(state_dir, JOBS_JOURNAL_NAME)
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Dict[str, Any]] = {}
+        self._order: List[str] = []
+        self._load()
+
+    # -- journal replay ------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:  # torn tail from a crash mid-append
+                continue
+            if not isinstance(record, dict) or record.get("type") != "job":
+                continue
+            job_id = record.get("id")
+            if not isinstance(job_id, str):
+                continue
+            record.pop("type", None)
+            if job_id not in self._jobs:
+                self._order.append(job_id)
+            self._jobs[job_id] = record  # last record wins
+
+    # -- writes --------------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        line = json.dumps({"type": "job", **record}, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def create(self, job_id: str, **fields: Any) -> Dict[str, Any]:
+        """Register a new job in state ``queued`` and journal it."""
+        record = {
+            "id": job_id,
+            "status": "queued",
+            "created_ts": round(time.time(), 6),
+            **fields,
+        }
+        with self._lock:
+            if job_id in self._jobs:
+                raise ValueError(f"duplicate job id {job_id}")
+            self._jobs[job_id] = record
+            self._order.append(job_id)
+            self._append(record)
+        return dict(record)
+
+    def update(self, job_id: str, **fields: Any) -> Dict[str, Any]:
+        """Merge *fields* into a job's record and journal the new state."""
+        with self._lock:
+            current = self._jobs.get(job_id)
+            if current is None:
+                raise KeyError(f"unknown job {job_id}")
+            merged = {**current, **fields}
+            self._jobs[job_id] = merged
+            self._append(merged)
+        return dict(merged)
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            record = self._jobs.get(job_id)
+            return dict(record) if record is not None else None
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """All jobs in submission order (replayed order after a restart)."""
+        with self._lock:
+            return [dict(self._jobs[j]) for j in self._order]
+
+    def in_flight_for_key(self, key: str) -> Optional[Dict[str, Any]]:
+        """The queued/running job already working on cache key *key*."""
+        with self._lock:
+            for job_id in self._order:
+                record = self._jobs[job_id]
+                if record.get("key") == key and record.get("status") in ("queued", "running"):
+                    return dict(record)
+        return None
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per lifecycle state (for /healthz and gauges)."""
+        out = {state: 0 for state in JOB_STATES}
+        with self._lock:
+            for record in self._jobs.values():
+                state = record.get("status")
+                if state in out:
+                    out[state] += 1
+        return out
+
+    # -- uploads -------------------------------------------------------------
+
+    def spool_upload(self, body: bytes) -> str:
+        """Store one SWF upload content-addressed; returns its digest.
+
+        Gzip bodies (detected by magic, like :func:`repro.workload.swf.read_swf`)
+        are decompressed first so a plain and a gzipped upload of the
+        same log share a digest — and therefore a cache key.
+        """
+        if body[:2] == b"\x1f\x8b":
+            try:
+                body = gzip.decompress(body)
+            except OSError as exc:
+                from repro.service.errors import ServiceError
+
+                raise ServiceError("bad_swf", f"undecodable gzip body: {exc}") from exc
+        digest = hashlib.sha256(body).hexdigest()
+        path = self.upload_path(digest)
+        if not os.path.exists(path):
+            atomic_write_bytes(path, body)
+        return digest
+
+    def upload_path(self, digest: str) -> str:
+        return os.path.join(self.uploads_dir, f"{digest}.swf")

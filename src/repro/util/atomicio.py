@@ -12,11 +12,12 @@ sanctioned implementation.
 
 from __future__ import annotations
 
+import itertools
 import os
 import tempfile
 from typing import Union
 
-__all__ = ["atomic_write_text"]
+__all__ = ["atomic_symlink", "atomic_write_bytes", "atomic_write_text"]
 
 
 def atomic_write_text(
@@ -44,3 +45,68 @@ def atomic_write_text(
         except OSError:
             pass
         raise
+
+
+def atomic_write_bytes(path: Union[str, os.PathLike], data: bytes) -> None:
+    """Write *data* to *path* atomically (tempfile + ``os.replace``).
+
+    The binary twin of :func:`atomic_write_text`, for payloads that are
+    already encoded — SVG documents, gzip uploads, serialized results.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+#: Per-process uniquifier for temporary symlink names; combined with the
+#: pid it keeps concurrent writers from colliding without any entropy.
+_symlink_serial = itertools.count()
+
+
+def atomic_symlink(
+    target: Union[str, os.PathLike],
+    link: Union[str, os.PathLike],
+    *,
+    target_is_directory: bool = False,
+) -> None:
+    """Point symlink *link* at *target* atomically (symlink + ``os.replace``).
+
+    The naive ``unlink(link); symlink(target, link)`` dance has a window
+    where *link* does not exist and a window where a concurrent writer's
+    ``symlink`` call fails with ``FileExistsError``.  Creating the new
+    symlink under a unique temporary name and renaming it over *link*
+    closes both: ``rename(2)`` replaces an existing entry atomically, so
+    readers always see either the old target or the new one, and
+    concurrent writers each land a complete link (last rename wins).
+
+    Raises ``OSError`` where symlinks are unsupported or *link* is an
+    existing directory; callers keep their non-symlink fallbacks.
+    """
+    link = os.fspath(link)
+    directory = os.path.dirname(link) or "."
+    base = os.path.basename(link)
+    while True:
+        tmp = os.path.join(directory, f".{base}.{os.getpid()}.{next(_symlink_serial)}.tmp")
+        try:
+            os.symlink(os.fspath(target), tmp, target_is_directory=target_is_directory)
+        except FileExistsError:  # stale tmp from a killed writer: pick a new name
+            continue
+        try:
+            os.replace(tmp, link)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return

@@ -87,3 +87,23 @@ class TestSvg:
         res = Coplot(n_init=2).fit(y, labels=["a<b", "c&d", "e>f"])
         svg = coplot_to_svg(res)
         assert "a&lt;b" in svg and "c&amp;d" in svg
+
+
+class TestSvgBytes:
+    def test_matches_text_rendering(self, fitted):
+        from repro.coplot.render import coplot_to_svg_bytes
+
+        data = coplot_to_svg_bytes(fitted)
+        assert isinstance(data, bytes)
+        assert data == coplot_to_svg(fitted).encode("utf-8")
+        assert data.lstrip().startswith(b"<svg")
+
+    def test_size_passthrough(self, fitted):
+        from repro.coplot.render import coplot_to_svg_bytes
+
+        assert b'width="320"' in coplot_to_svg_bytes(fitted, size=320)
+
+    def test_package_export(self):
+        import repro.coplot
+
+        assert callable(repro.coplot.coplot_to_svg_bytes)

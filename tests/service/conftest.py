@@ -1,0 +1,116 @@
+"""Fixtures for the HTTP service tests: real servers on ephemeral ports."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.app import ServiceApp, make_server
+
+
+@pytest.fixture
+def service_factory(tmp_path):
+    """Boot real services (socket and all); tears every one down after."""
+    created = []
+
+    def factory(**kwargs):
+        state_dir = kwargs.pop("state_dir", None) or str(tmp_path / f"state{len(created)}")
+        app = ServiceApp(state_dir, **kwargs)
+        server = make_server(app, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        svc = {
+            "app": app,
+            "server": server,
+            "base": f"http://{host}:{port}",
+            "state_dir": state_dir,
+        }
+        created.append(svc)
+        return svc
+
+    yield factory
+    for svc in created:
+        svc["server"].shutdown()
+        svc["server"].server_close()
+        svc["app"].close(wait=True)
+
+
+@pytest.fixture
+def http():
+    """A tiny urllib client returning ``(status, parsed-or-bytes, ctype)``."""
+
+    def request(url, data=None, *, content_type="application/json", timeout=30.0):
+        req = urllib.request.Request(url, data=data)
+        if data is not None:
+            req.add_header("Content-Type", content_type)
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                status, body = resp.status, resp.read()
+                ctype = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as err:
+            status, body = err.code, err.read()
+            ctype = err.headers.get("Content-Type", "")
+        if ctype.startswith("application/json"):
+            return status, json.loads(body), ctype
+        return status, body, ctype
+
+    return request
+
+
+@pytest.fixture
+def poll_done(http):
+    """Poll a job id until it leaves queued/running; returns the record."""
+    import time
+
+    def poll(base, job_id, *, timeout_s=120.0):
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status, body, _ = http(f"{base}/v1/analyses/{job_id}")
+            assert status == 200, body
+            job = body["job"]
+            if job["status"] in ("done", "error"):
+                return job
+            assert time.monotonic() < deadline, f"job stuck {job['status']}"
+            time.sleep(0.05)
+
+    return poll
+
+
+@pytest.fixture
+def small_swf():
+    """A small real SWF log rendered from a synthesized workload."""
+    from repro.archive.synthesize import synthesize_workload
+    from repro.workload.swf import render_swf_text
+
+    return render_swf_text(synthesize_workload("CTC", n_jobs=150, seed=3)).encode()
+
+
+def metric(prom_text, name):
+    """Read one ``repro_service_`` sample out of Prometheus text."""
+    for line in prom_text.splitlines():
+        if line.startswith(f"repro_service_{name} "):
+            return float(line.split()[-1])
+    return 0.0
+
+
+@pytest.fixture
+def read_metric():
+    return metric
+
+
+#: A cheap analysis document: one series, one estimator, small workload.
+CHEAP_HURST = {
+    "kind": "hurst",
+    "input": {"workload": "CTC", "n_jobs": 300, "seed": 1},
+    "params": {"attributes": ["run_time"], "methods": ["rs"]},
+}
+
+
+@pytest.fixture
+def cheap_doc():
+    return json.loads(json.dumps(CHEAP_HURST))

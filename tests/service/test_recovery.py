@@ -1,0 +1,104 @@
+"""Restart semantics: the journal brings a killed server's jobs back."""
+
+import json
+import time
+
+from repro.service.app import ServiceApp
+from repro.service.store import JOBS_JOURNAL_NAME, JobStore
+
+CHEAP_HURST = {
+    "kind": "hurst",
+    "input": {"workload": "CTC", "n_jobs": 300, "seed": 1},
+    "params": {"attributes": ["run_time"], "methods": ["rs"]},
+}
+
+
+def _wait_done(store, job_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while True:
+        record = store.get(job_id)
+        if record["status"] in ("done", "error"):
+            return record
+        assert time.monotonic() < deadline, f"job stuck {record['status']}"
+        time.sleep(0.05)
+
+
+def test_finished_jobs_survive_a_restart(tmp_path):
+    """Status and result of a done job are served by the next process."""
+    state = str(tmp_path / "state")
+    app1 = ServiceApp(state, workers=1)
+    try:
+        _, body = app1.submit(json.loads(json.dumps(CHEAP_HURST)))
+        job_id = body["job_id"]
+        record = _wait_done(app1.store, job_id)
+        assert record["status"] == "done"
+        payload1 = app1.job_result(job_id)
+    finally:
+        app1.close(wait=True)
+
+    app2 = ServiceApp(state, workers=1)
+    try:
+        assert app2.recovered_jobs == 0  # done jobs are not re-run
+        record = app2.job_status(job_id)["job"]
+        assert record["status"] == "done"
+        assert app2.job_result(job_id) == payload1  # straight off the cache
+    finally:
+        app2.close(wait=True)
+
+
+def test_unfinished_jobs_are_reenqueued(tmp_path):
+    """A job that was queued/running at the kill runs to completion."""
+    state = str(tmp_path / "state")
+    # Simulate the dead server: a journal holding an accepted job that
+    # never reached a terminal state.
+    store = JobStore(state)
+    from repro.service.analyses import parse_analysis_request
+
+    spec = parse_analysis_request(json.loads(json.dumps(CHEAP_HURST)))
+    store.create("job-interrupted", kind=spec.kind, spec=spec.canonical(), key="k-pending")
+    store.update("job-interrupted", status="running", started_ts=1.0)
+
+    app = ServiceApp(state, workers=1)
+    try:
+        assert app.recovered_jobs == 1
+        record = _wait_done(app.store, "job-interrupted")
+        assert record["status"] == "done", record.get("error")
+        assert record["recovered"] is True
+        payload = app.job_result("job-interrupted")
+        assert payload["kind"] == "hurst"
+    finally:
+        app.close(wait=True)
+
+
+def test_restart_tolerates_a_torn_journal_tail(tmp_path):
+    state = str(tmp_path / "state")
+    app1 = ServiceApp(state, workers=1)
+    try:
+        _, body = app1.submit(json.loads(json.dumps(CHEAP_HURST)))
+        _wait_done(app1.store, body["job_id"])
+    finally:
+        app1.close(wait=True)
+    with open(f"{state}/{JOBS_JOURNAL_NAME}", "a", encoding="utf-8") as fh:
+        fh.write('{"type": "job", "id": "torn", "sta')  # SIGKILL mid-append
+
+    app2 = ServiceApp(state, workers=1)
+    try:
+        assert app2.job_status(body["job_id"])["job"]["status"] == "done"
+        assert app2.store.get("torn") is None
+    finally:
+        app2.close(wait=True)
+
+
+def test_recovered_counter_is_exported(tmp_path):
+    state = str(tmp_path / "state")
+    store = JobStore(state)
+    from repro.service.analyses import parse_analysis_request
+
+    spec = parse_analysis_request(json.loads(json.dumps(CHEAP_HURST)))
+    store.create("job-x", kind=spec.kind, spec=spec.canonical(), key="k")
+    app = ServiceApp(state, workers=1)
+    try:
+        assert "repro_service_analyses_recovered_total 1" in app.prometheus()
+        _wait_done(app.store, "job-x")
+    finally:
+        app.close(wait=True)
