@@ -3,7 +3,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: install test lint chaos bench obs-bench perf-bench service-smoke experiments experiments-quick quick results archive clean
+.PHONY: install test lint lint-graph chaos bench obs-bench perf-bench service-smoke experiments experiments-quick quick results archive clean
 
 install:
 	pip install -e .[test]
@@ -13,7 +13,10 @@ test:
 
 # Static analysis: the self-hosted determinism linter is the hard gate;
 # ruff/mypy run when installed (CI installs them) and are skipped
-# gracefully on machines that only have the runtime deps.
+# gracefully on machines that only have the runtime deps.  Runs are
+# incremental (results/lint-cache/): a warm unchanged tree re-lints in
+# hash time.  Use `python -m repro.lint --no-incremental` to force a
+# full pass.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src tests
 	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
@@ -22,6 +25,12 @@ lint:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		PYTHONPATH=src $(PYTHON) -m mypy src/repro/lint; \
 	else echo "mypy not installed -- skipping"; fi
+
+# The whole-program call graph the interprocedural rules (REP008-REP012)
+# ran over, as JSON — the debugging artifact for "why did/didn't this
+# finding fire"; archived by the CI lint job.
+lint-graph:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src tests --dump-graph results/lint-graph.json
 
 # End-to-end service check: boots the HTTP API on an ephemeral port,
 # drives upload -> poll -> JSON/SVG result over urllib, and proves the

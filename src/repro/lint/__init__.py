@@ -11,20 +11,41 @@ the rule catalog, configuration and suppression syntax.
 """
 
 from repro.lint.config import LintConfig, LintConfigError, find_pyproject, load_config
-from repro.lint.engine import PARSE_ERROR_CODE, lint_paths, lint_source
+from repro.lint.engine import (
+    PARSE_ERROR_CODE,
+    PROJECT_RULES,
+    build_project_index,
+    lint_paths,
+    lint_source,
+)
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import ALL_RULES, KNOWN_CODES, RULES_BY_CODE, Rule
+from repro.lint.graph import ProjectIndex
+from repro.lint.incremental import LintCache
+from repro.lint.rules import (
+    ALL_RULES,
+    KNOWN_CODES,
+    PROJECT_CODES,
+    RULES_BY_CODE,
+    ProjectRule,
+    Rule,
+)
 
 __all__ = [
     "ALL_RULES",
     "Finding",
     "KNOWN_CODES",
+    "LintCache",
     "LintConfig",
     "LintConfigError",
     "PARSE_ERROR_CODE",
+    "PROJECT_CODES",
+    "PROJECT_RULES",
+    "ProjectIndex",
+    "ProjectRule",
     "RULES_BY_CODE",
     "Rule",
     "Severity",
+    "build_project_index",
     "find_pyproject",
     "lint_paths",
     "lint_source",

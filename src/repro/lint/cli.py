@@ -2,22 +2,41 @@
 
 Exit codes: 0 = clean, 1 = findings, 2 = usage/config error.  ``--format
 json`` emits a machine-readable report (archived as a CI artifact so
-lint trends stay observable across PRs); ``--output`` writes the report
-to a file while a one-line summary still goes to stderr.
+lint trends stay observable across PRs); ``--format sarif`` emits a
+SARIF 2.1.0 document for GitHub code scanning; ``--output`` writes the
+report to a file while a one-line summary still goes to stderr.
+
+Runs are **incremental** by default when a project config is in play:
+per-file findings are cached under ``results/lint-cache/`` keyed on
+content hash + ruleset version, so an unchanged tree re-lints in hash
+time.  ``--no-incremental`` forces a full pass; ``--cache-dir`` points
+the cache elsewhere.  ``--dump-graph FILE`` writes the whole-program
+call graph the interprocedural rules ran over (the ``lint-graph``
+debugging artifact).
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.lint.config import LintConfig, LintConfigError, find_pyproject, load_config
-from repro.lint.engine import lint_paths
+from repro.lint.engine import (
+    PROJECT_RULES,
+    ParsedFile,
+    build_project_index,
+    collect_suppressions,
+    iter_python_files,
+    lint_paths,
+)
 from repro.lint.findings import Finding
+from repro.lint.incremental import LintCache, default_cache_dir
 from repro.lint.rules import ALL_RULES, KNOWN_CODES
+from repro.lint.sarif import render_sarif
 from repro.util.atomicio import atomic_write_text
 
 __all__ = ["main"]
@@ -59,6 +78,11 @@ def _render_text(findings: List[Finding], scanned: int) -> str:
     return "\n".join(lines)
 
 
+def _render_sarif(findings: List[Finding], scanned: int) -> str:
+    del scanned  # not representable in SARIF
+    return render_sarif(findings, rule_catalog=[*ALL_RULES, *PROJECT_RULES])
+
+
 def _summary_line(findings: List[Finding], scanned: int) -> str:
     if not findings:
         return f"repro-lint: clean ({scanned} file(s) scanned)"
@@ -69,7 +93,45 @@ def _list_rules() -> str:
     lines = ["Registered rules:"]
     for rule in ALL_RULES:
         lines.append(f"  {rule.code}  {rule.name:<22} [{rule.severity.value}] {rule.rationale}")
+    lines.append("Project-wide (interprocedural) rules:")
+    for rule in PROJECT_RULES:
+        lines.append(f"  {rule.code}  {rule.name:<22} [{rule.severity.value}] {rule.rationale}")
     return "\n".join(lines)
+
+
+def _dump_graph(paths: List[str], config: LintConfig, out: Path) -> int:
+    """Write the whole-program call graph as JSON (``lint-graph`` target)."""
+    parsed: List[ParsedFile] = []
+    for path in iter_python_files(paths):
+        if config.file_excluded(path):
+            continue
+        try:
+            source = path.read_text(encoding="utf-8", errors="replace")
+        except OSError:
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue
+        per_line, per_file = collect_suppressions(source)
+        parsed.append(
+            ParsedFile(
+                path=path,
+                source=source,
+                tree=tree,
+                line_suppressions=per_line,
+                file_suppressions=per_file,
+            )
+        )
+    index = build_project_index(parsed)
+    if out.parent != Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(out, index.to_json() + "\n")
+    print(
+        f"repro-lint: call graph over {len(parsed)} file(s) -> {out}",
+        file=sys.stderr,
+    )
+    return EXIT_CLEAN
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -85,7 +147,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="files or directories to lint (default: current directory)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", help="report format (default text)"
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default text)",
     )
     parser.add_argument(
         "--output", metavar="FILE", help="write the report to FILE instead of stdout"
@@ -102,6 +167,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--no-config", action="store_true", help="ignore pyproject.toml, use built-in defaults"
     )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable the results/lint-cache/ incremental cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="incremental-cache directory (default: <config root>/results/lint-cache)",
+    )
+    parser.add_argument(
+        "--dump-graph",
+        metavar="FILE",
+        help="write the whole-program call graph as JSON and exit",
+    )
     parser.add_argument("--list-rules", action="store_true", help="print the rule catalog and exit")
     args = parser.parse_args(argv)
 
@@ -110,14 +190,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_CLEAN
 
     try:
+        discovered: Optional[Path] = None
         if args.no_config:
             config = LintConfig()
         elif args.config is not None:
-            config = load_config(Path(args.config), known_codes=KNOWN_CODES)
+            discovered = Path(args.config)
+            config = load_config(discovered, known_codes=KNOWN_CODES)
         else:
             # Discover from the first linted path so behaviour does not
             # depend on the caller's working directory.
-            config = load_config(find_pyproject(Path(args.paths[0])), known_codes=KNOWN_CODES)
+            discovered = find_pyproject(Path(args.paths[0]))
+            config = load_config(discovered, known_codes=KNOWN_CODES)
         select = _parse_codes(args.select, "--select")
         ignore = _parse_codes(args.ignore, "--ignore")
         if select is not None or ignore is not None:
@@ -132,14 +215,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
+    if args.dump_graph is not None:
+        try:
+            return _dump_graph(args.paths, config, Path(args.dump_graph))
+        except FileNotFoundError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    # Incremental caching is opt-out, but only when there is a sensible
+    # place to put the cache: a discovered/explicit config root, or an
+    # explicit --cache-dir.  A bare ``--no-config`` run stays
+    # side-effect-free.
+    cache: Optional[LintCache] = None
+    if not args.no_incremental:
+        if args.cache_dir is not None:
+            cache = LintCache(Path(args.cache_dir), config)
+        elif discovered is not None:
+            cache = LintCache(default_cache_dir(config.root), config)
+
     try:
-        findings, scanned = lint_paths(args.paths, config=config)
+        findings, scanned = lint_paths(args.paths, config=config, cache=cache)
     except FileNotFoundError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
-    render = _render_json if args.format == "json" else _render_text
-    report = render(findings, scanned)
+    renderers = {"json": _render_json, "sarif": _render_sarif, "text": _render_text}
+    report = renderers[args.format](findings, scanned)
     if args.output is not None:
         out = Path(args.output)
         if out.parent != Path(""):

@@ -7,6 +7,14 @@ never re-walk the tree, so the cost of a lint run is one ``ast.parse``
 plus one ``tokenize`` pass per file regardless of how many rules are
 registered.
 
+:func:`lint_paths` layers the **project pass** on top: the same parsed
+trees are handed to :class:`~repro.lint.graph.ProjectIndex` and the
+interprocedural rules (REP008–REP012) run once over the whole file set.
+Their findings flow through :class:`ProjectReporter`, which applies the
+same inline suppressions and per-rule path exclusions as the local
+pass — a ``# repro-lint: disable=REP012`` works identically whether the
+rule saw one file or all of them.
+
 Inline suppressions::
 
     x = time.time()  # repro-lint: disable=REP003 -- wall clock is the point
@@ -20,22 +28,31 @@ import ast
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.lint.concurrency import CONCURRENCY_RULES
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import ALL_RULES, Rule
+from repro.lint.graph import ImportTable, ProjectIndex
+from repro.lint.incremental import LintCache
+from repro.lint.rules import ALL_RULES, PROJECT_CODES, ProjectRule, Rule
+from repro.lint.taint import TAINT_RULES
 
 __all__ = [
     "ImportTable",
     "ModuleContext",
     "PARSE_ERROR_CODE",
+    "PROJECT_RULES",
+    "ParsedFile",
+    "ProjectReporter",
+    "build_project_index",
     "collect_suppressions",
     "iter_python_files",
     "lint_paths",
     "lint_source",
+    "run_project_rules",
 ]
 
 #: Pseudo-rule code for files the parser rejects; not configurable.
@@ -44,49 +61,13 @@ PARSE_ERROR_CODE = "REP000"
 #: Sentinel inside a suppression set meaning "every rule".
 _ALL_CODES = "*"
 
+#: The interprocedural rules, run once per ``lint_paths`` call.
+PROJECT_RULES: Tuple[ProjectRule, ...] = (*TAINT_RULES, *CONCURRENCY_RULES)
+assert {rule.code for rule in PROJECT_RULES} == PROJECT_CODES
+
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*(?P<kind>disable-file|disable)\s*(?:=\s*(?P<codes>[A-Za-z0-9_,\s]+))?"
 )
-
-
-class ImportTable:
-    """Maps local names to the canonical dotted path they were imported as."""
-
-    def __init__(self) -> None:
-        self._aliases: Dict[str, str] = {}
-
-    def add_import(self, node: ast.Import) -> None:
-        for alias in node.names:
-            if alias.asname is not None:
-                self._aliases[alias.asname] = alias.name
-            else:
-                # ``import a.b.c`` binds only ``a``.
-                root = alias.name.split(".")[0]
-                self._aliases[root] = root
-
-    def add_import_from(self, node: ast.ImportFrom) -> None:
-        if node.level or node.module is None:  # relative import: target unknown
-            return
-        for alias in node.names:
-            if alias.name == "*":
-                continue
-            local = alias.asname or alias.name
-            self._aliases[local] = f"{node.module}.{alias.name}"
-
-    def resolve(self, node: ast.expr) -> Optional[str]:
-        """Canonical dotted name of *node* (``np.random.rand`` ->
-        ``numpy.random.rand``), or ``None`` when the root is not an
-        imported name."""
-        parts: List[str] = []
-        while isinstance(node, ast.Attribute):
-            parts.append(node.attr)
-            node = node.value
-        if not isinstance(node, ast.Name):
-            return None
-        base = self._aliases.get(node.id)
-        if base is None:
-            return None
-        return ".".join([base, *reversed(parts)])
 
 
 def collect_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
@@ -131,6 +112,23 @@ class _SourceInfo:
     file_suppressions: Set[str]
 
 
+@dataclass
+class ParsedFile:
+    """One successfully parsed module, reused by both lint passes."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        for codes in (self.file_suppressions, self.line_suppressions.get(line, set())):
+            if _ALL_CODES in codes or code in codes:
+                return True
+        return False
+
+
 class ModuleContext:
     """Per-module state shared by all rules during one walk."""
 
@@ -172,6 +170,45 @@ class ModuleContext:
                 path=self._info.path,
                 line=line,
                 col=getattr(node, "col_offset", 0),
+                code=rule.code,
+                severity=rule.severity,
+                message=message,
+            )
+        )
+
+
+class ProjectReporter:
+    """Finding sink for the interprocedural rules.
+
+    Applies the same inline suppressions as the local pass plus the
+    config's per-rule path exclusions at *report* time — a project rule
+    analyzes every file (an excluded module still contributes call
+    edges) but findings only land where the rule applies.
+    """
+
+    def __init__(self, files: Sequence[ParsedFile], config: LintConfig) -> None:
+        self._by_path: Dict[str, ParsedFile] = {str(f.path): f for f in files}
+        self._config = config
+        self.findings: List[Finding] = []
+        self._seen: Set[Tuple[str, int, int, str]] = set()
+
+    def report(self, path: str, node: ast.AST, rule: ProjectRule, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        parsed = self._by_path.get(path)
+        if parsed is not None and parsed.suppressed(rule.code, line):
+            return
+        if not self._config.rule_applies(rule.code, Path(path)):
+            return
+        key = (path, line, col, rule.code)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(
+            Finding(
+                path=path,
+                line=line,
+                col=col,
                 code=rule.code,
                 severity=rule.severity,
                 message=message,
@@ -232,6 +269,36 @@ class _Walker(ast.NodeVisitor):
             self._ctx._assert_depth -= 1
 
 
+def _parse_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        code=PARSE_ERROR_CODE,
+        severity=Severity.ERROR,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _lint_tree(
+    tree: ast.Module,
+    *,
+    path: str,
+    per_line: Dict[int, Set[str]],
+    per_file: Set[str],
+    rules: Sequence[Rule],
+) -> List[Finding]:
+    info = _SourceInfo(
+        path=path,
+        imports=ImportTable(),
+        line_suppressions=per_line,
+        file_suppressions=per_file,
+    )
+    ctx = ModuleContext(info)
+    _Walker(ctx, rules).visit(tree)
+    return sorted(ctx.findings)
+
+
 def lint_source(
     source: str,
     *,
@@ -242,26 +309,9 @@ def lint_source(
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                code=PARSE_ERROR_CODE,
-                severity=Severity.ERROR,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        return [_parse_error_finding(path, exc)]
     per_line, per_file = collect_suppressions(source)
-    info = _SourceInfo(
-        path=path,
-        imports=ImportTable(),
-        line_suppressions=per_line,
-        file_suppressions=per_file,
-    )
-    ctx = ModuleContext(info)
-    _Walker(ctx, rules).visit(tree)
-    return sorted(ctx.findings)
+    return _lint_tree(tree, path=path, per_line=per_line, per_file=per_file, rules=rules)
 
 
 def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
@@ -287,27 +337,52 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
     return iter(collected)
 
 
+def build_project_index(parsed: Sequence[ParsedFile]) -> ProjectIndex:
+    """The whole-program index over *parsed* files (``lint-graph`` entry)."""
+    return ProjectIndex.build([(str(f.path), f.tree) for f in parsed])
+
+
+def run_project_rules(
+    parsed: Sequence[ParsedFile],
+    *,
+    config: LintConfig,
+    rules: Sequence[ProjectRule] = PROJECT_RULES,
+) -> List[Finding]:
+    """Run the interprocedural rules over *parsed* and return their findings."""
+    enabled = [rule for rule in rules if config.rule_enabled(rule.code)]
+    if not enabled or not parsed:
+        return []
+    index = build_project_index(parsed)
+    reporter = ProjectReporter(parsed, config)
+    for rule in enabled:
+        rule.check(index, reporter)
+    return sorted(reporter.findings)
+
+
 def lint_paths(
     paths: Sequence[Union[str, Path]],
     *,
     config: Optional[LintConfig] = None,
     rules: Sequence[Rule] = ALL_RULES,
+    project_rules: Sequence[ProjectRule] = PROJECT_RULES,
+    cache: Optional[LintCache] = None,
 ) -> Tuple[List[Finding], int]:
-    """Lint every Python file under *paths*.
+    """Lint every Python file under *paths*, local pass then project pass.
 
     Returns ``(findings, files_scanned)``; excluded files are neither
-    linted nor counted.
+    linted nor counted.  With *cache* (see :mod:`repro.lint.incremental`)
+    unchanged files reuse stored findings and an unchanged tree skips
+    parsing entirely.
     """
     cfg = config if config is not None else LintConfig()
     findings: List[Finding] = []
     scanned = 0
+
+    sources: List[Tuple[Path, Optional[str]]] = []
     for path in iter_python_files(paths):
         if cfg.file_excluded(path):
             continue
-        applicable = [rule for rule in rules if cfg.rule_applies(rule.code, path)]
         scanned += 1
-        if not applicable:
-            continue
         try:
             source = path.read_text(encoding="utf-8", errors="replace")
         except OSError as exc:
@@ -321,6 +396,62 @@ def lint_paths(
                     message=f"file is unreadable: {exc}",
                 )
             )
+            sources.append((path, None))
             continue
-        findings.extend(lint_source(source, path=str(path), rules=applicable))
+        sources.append((path, source))
+
+    readable = [(path, source) for path, source in sources if source is not None]
+    project_enabled = any(cfg.rule_enabled(rule.code) for rule in project_rules)
+
+    if cache is not None:
+        project_key = cache.tree_key(readable) if project_enabled else None
+        cached_project = cache.load_project(project_key) if project_key else None
+    else:
+        project_key = None
+        cached_project = None
+
+    parsed_files: List[ParsedFile] = []
+    need_trees = project_enabled and cached_project is None
+    for path, source in readable:
+        applicable = [rule for rule in rules if cfg.rule_applies(rule.code, path)]
+        cached_local = cache.load_local(path, source) if cache is not None else None
+        if cached_local is not None and not need_trees:
+            findings.extend(cached_local)
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings.append(_parse_error_finding(str(path), exc))
+            continue
+        per_line, per_file = collect_suppressions(source)
+        parsed_files.append(
+            ParsedFile(
+                path=path,
+                source=source,
+                tree=tree,
+                line_suppressions=per_line,
+                file_suppressions=per_file,
+            )
+        )
+        if cached_local is not None:
+            findings.extend(cached_local)
+            continue
+        local = _lint_tree(
+            tree, path=str(path), per_line=per_line, per_file=per_file, rules=applicable
+        )
+        findings.extend(local)
+        if cache is not None:
+            cache.store_local(path, source, local)
+
+    if project_enabled:
+        if cached_project is not None:
+            findings.extend(cached_project)
+        else:
+            project_findings = run_project_rules(
+                parsed_files, config=cfg, rules=project_rules
+            )
+            findings.extend(project_findings)
+            if cache is not None and project_key is not None:
+                cache.store_project(project_key, project_findings)
+
     return sorted(findings), scanned

@@ -1,0 +1,970 @@
+"""Whole-program import graph and call graph for multi-file lint rules.
+
+The per-file rules (REP001–REP007) see one module at a time; the
+interprocedural rules (REP008–REP012) need to know *who calls whom*
+across the whole ``src/`` tree.  :class:`ProjectIndex` provides that:
+it takes every parsed module of one lint run and builds
+
+* a **module index** — dotted module names derived from the package
+  layout (walking ``__init__.py`` chains), each with the same
+  import-alias table the single-file engine uses, so ``import numpy as
+  np`` and ``from x import y as z`` resolve identically in both passes;
+* a **symbol table** per module — top-level functions and classes,
+  with ``from x import y as z`` re-export chains followed through
+  :meth:`ProjectIndex.resolve_qname` (cycle-guarded);
+* a **call graph** — every function (including methods, nested
+  functions and a synthetic ``<module>`` unit for top-level code) with
+  its resolved call sites.  Receivers are typed where the analysis can
+  see the construction: ``cache = ResultCache(...)`` makes a later
+  ``cache.key(...)`` resolve to ``repro.runtime.cache.ResultCache.key``,
+  and ``self.store = JobStore(...)`` in ``__init__`` types
+  ``self.store.update(...)`` for every method.  Annotations
+  (``def f(cache: ResultCache)``) type parameters the same way.
+* **concurrency facts** — which ``threading.Lock`` attributes each
+  class owns, which locks are lexically held at every call site, the
+  lock-acquisition nesting inside each function, and every access to
+  shared mutable state (module-level containers, mutable instance
+  attributes) with the locks held at the access.
+
+Resolution is deliberately *under-approximating*: a call the index
+cannot resolve contributes no edge, so the interprocedural rules may
+miss findings but do not invent them — the right trade-off for a gate
+that must stay self-hosted clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Access",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ImportTable",
+    "LockAcquisition",
+    "ModuleInfo",
+    "ProjectIndex",
+    "module_name_for",
+]
+
+#: Qualified names whose construction makes an attribute/variable a lock.
+LOCK_TYPES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+
+#: Constructors of mutable containers (shared-state candidates).
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+_MUTABLE_QUALIFIED = frozenset(
+    {"collections.defaultdict", "collections.OrderedDict", "collections.deque", "collections.Counter"}
+)
+
+#: Method names that mutate the container they are called on.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+        "appendleft",
+    }
+)
+
+#: Method names that iterate the container (torn-iteration hazards).
+_ITERATING_METHODS = frozenset({"items", "keys", "values"})
+
+
+class ImportTable:
+    """Maps local names to the canonical dotted path they were imported as."""
+
+    def __init__(self) -> None:
+        self._aliases: Dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname is not None:
+                self._aliases[alias.asname] = alias.name
+            else:
+                # ``import a.b.c`` binds only ``a``.
+                root = alias.name.split(".")[0]
+                self._aliases[root] = root
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:  # relative import: target unknown
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def alias_target(self, name: str) -> Optional[str]:
+        """The dotted path local *name* was bound to, if imported."""
+        return self._aliases.get(name)
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Canonical dotted name of *node* (``np.random.rand`` ->
+        ``numpy.random.rand``), or ``None`` when the root is not an
+        imported name."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(parts)])
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name implied by *path*'s package layout.
+
+    Walks parent directories while they contain ``__init__.py`` —
+    ``src/repro/service/jobs.py`` becomes ``repro.service.jobs``
+    regardless of where ``src`` sits.  A file outside any package (a
+    test module, a fixture) is just its stem.
+    """
+    resolved = Path(path).resolve()
+    parts: List[str] = [] if resolved.stem == "__init__" else [resolved.stem]
+    parent = resolved.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) or resolved.stem
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    callee: Optional[str]  #: resolved qname (project) or canonical dotted (external)
+    held_locks: Tuple[str, ...]  #: lock ids lexically held at the call
+
+
+@dataclass
+class LockAcquisition:
+    """One ``with <lock>:`` entry inside a function."""
+
+    lock: str
+    held_before: Tuple[str, ...]  #: locks already held when this one is taken
+    node: ast.AST
+
+
+@dataclass
+class Access:
+    """One touch of shared mutable state (attr or module global)."""
+
+    target: str  #: ``"<ClassQname>.<attr>"`` or ``"<module>.<global>"``
+    kind: str  #: ``"mutate"`` | ``"iterate"`` | ``"rebind"``
+    node: ast.AST
+    held_locks: Tuple[str, ...]
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function body (function, method, nested def, or the
+    synthetic ``<module>`` unit holding top-level statements)."""
+
+    qname: str
+    module: str
+    cls: Optional[str]  #: owning class qname for methods
+    name: str
+    node: ast.AST
+    path: str
+    params: Tuple[str, ...] = ()
+    calls: List[CallSite] = field(default_factory=list)
+    acquisitions: List[LockAcquisition] = field(default_factory=list)
+    accesses: List[Access] = field(default_factory=list)
+
+    @property
+    def is_init(self) -> bool:
+        return self.name == "__init__"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition and its concurrency-relevant attributes."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    path: str
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, str] = field(default_factory=dict)  #: name -> function qname
+    attr_types: Dict[str, str] = field(default_factory=dict)  #: self.<a> -> class qname
+    mutable_attrs: Dict[str, int] = field(default_factory=dict)  #: self.<a> -> lineno
+    lock_attrs: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module in the project."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    imports: ImportTable = field(default_factory=ImportTable)
+    symbols: Dict[str, str] = field(default_factory=dict)  #: top-level name -> qname
+    globals_mutable: Dict[str, int] = field(default_factory=dict)
+    global_locks: Set[str] = field(default_factory=set)
+
+
+class ProjectIndex:
+    """The whole-program view the interprocedural rules run over."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Sequence[Tuple[str, ast.Module]]) -> "ProjectIndex":
+        """Index *files* — ``(path, parsed tree)`` pairs — in three passes:
+        declarations, attribute typing, then call/access resolution."""
+        index = cls()
+        for path, tree in files:
+            index._add_module(path, tree)
+        for module in index.modules.values():
+            index._collect_class_attrs(module)
+        for module in index.modules.values():
+            index._analyze_bodies(module)
+        return index
+
+    def _add_module(self, path: str, tree: ast.Module) -> None:
+        name = module_name_for(Path(path))
+        # Two files can imply the same module name (e.g. sibling
+        # ``conftest.py`` files outside packages); disambiguate so both
+        # stay indexed rather than one silently shadowing the other.
+        unique = name
+        serial = 1
+        while unique in self.modules:
+            serial += 1
+            unique = f"{name}@{serial}"
+        module = ModuleInfo(name=unique, path=path, tree=tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                module.imports.add_import(node)
+            elif isinstance(node, ast.ImportFrom):
+                module.imports.add_import_from(node)
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{unique}.{stmt.name}"
+                module.symbols[stmt.name] = qname
+                self._add_function(module, stmt, qname, cls=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(module, stmt)
+            elif isinstance(stmt, ast.Assign):
+                self._add_global_binding(module, stmt)
+        self.modules[unique] = module
+
+    def _add_global_binding(self, module: ModuleInfo, stmt: ast.Assign) -> None:
+        for target in stmt.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if self._is_mutable_literal(module, stmt.value):
+                module.globals_mutable[target.id] = stmt.lineno
+            elif self._constructed_type(module, stmt.value) in LOCK_TYPES:
+                module.global_locks.add(target.id)
+
+    def _add_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qname = f"{module.name}.{node.name}"
+        module.symbols[node.name] = qname
+        bases = []
+        for base in node.bases:
+            resolved = module.imports.resolve(base)
+            if resolved is None and isinstance(base, ast.Name):
+                resolved = module.symbols.get(base.id, base.id)
+            if resolved is not None:
+                bases.append(resolved)
+        info = ClassInfo(
+            qname=qname,
+            module=module.name,
+            name=node.name,
+            node=node,
+            path=module.path,
+            bases=tuple(bases),
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_qname = f"{qname}.{stmt.name}"
+                info.methods[stmt.name] = method_qname
+                self._add_function(module, stmt, method_qname, cls=qname)
+        self.classes[qname] = info
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        qname: str,
+        *,
+        cls: Optional[str],
+    ) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        params = tuple(
+            a.arg
+            for a in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]
+        )
+        self.functions[qname] = FunctionInfo(
+            qname=qname,
+            module=module.name,
+            cls=cls,
+            name=node.name,
+            node=node,
+            path=module.path,
+            params=params,
+        )
+        for child in ast.iter_child_nodes(node):
+            self._add_nested(module, child, qname, cls)
+
+    def _add_nested(
+        self, module: ModuleInfo, node: ast.AST, parent: str, cls: Optional[str]
+    ) -> None:
+        """Register nested defs as their own function units."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._add_function(module, node, f"{parent}.{node.name}", cls=cls)
+            return
+        if isinstance(node, (ast.ClassDef, ast.Lambda)):
+            return
+        for child in ast.iter_child_nodes(node):
+            self._add_nested(module, child, parent, cls)
+
+    # -- pass 2: class attribute typing --------------------------------------
+
+    def _collect_class_attrs(self, module: ModuleInfo) -> None:
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            info = self.classes[module.symbols[stmt.name]]
+            for method in stmt.body:
+                if isinstance(method, ast.AnnAssign) and isinstance(method.target, ast.Name):
+                    # Class-level annotation (``app: ServiceApp``): type the
+                    # attribute even when it is injected rather than assigned.
+                    annotated = self.resolve_annotation(module, method.annotation)
+                    if annotated is not None and annotated in self.classes:
+                        info.attr_types[method.target.id] = annotated
+                    continue
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                for node in ast.walk(method):
+                    if isinstance(node, ast.Assign):
+                        targets: List[ast.expr] = list(node.targets)
+                        value: Optional[ast.expr] = node.value
+                    elif isinstance(node, ast.AnnAssign):
+                        targets = [node.target]
+                        value = node.value
+                    else:
+                        continue
+                    for target in targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        attr = target.attr
+                        if value is None:
+                            continue
+                        constructed = self._constructed_type(module, value)
+                        if constructed in LOCK_TYPES:
+                            info.lock_attrs.add(attr)
+                        elif constructed is not None:
+                            info.attr_types[attr] = constructed
+                        elif self._is_mutable_literal(module, value):
+                            info.mutable_attrs.setdefault(attr, value.lineno)
+
+    def _constructed_type(self, module: ModuleInfo, value: ast.expr) -> Optional[str]:
+        """The class qname *value* constructs, when it is ``Cls(...)``."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if isinstance(func, ast.Name):
+            local = module.symbols.get(func.id)
+            if local is not None and local in self.classes:
+                return local
+        resolved = module.imports.resolve(func)
+        if resolved is None:
+            return None
+        return self.resolve_qname(resolved)
+
+    def _is_mutable_literal(self, module: ModuleInfo, value: ast.expr) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            if isinstance(value.func, ast.Name) and value.func.id in _MUTABLE_CONSTRUCTORS:
+                return True
+            resolved = module.imports.resolve(value.func)
+            return resolved in _MUTABLE_QUALIFIED
+        return False
+
+    # -- name resolution ------------------------------------------------------
+
+    def resolve_annotation(self, module: ModuleInfo, annotation: ast.expr) -> Optional[str]:
+        """Resolve a type annotation expression to a dotted/qname, if possible."""
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            dotted = annotation.value.strip()
+            if not dotted or not all(part.isidentifier() for part in dotted.split(".")):
+                return None
+            if "." not in dotted:
+                local = module.symbols.get(dotted)
+                if local is not None:
+                    return local
+                aliased = module.imports.alias_target(dotted)
+                return self.resolve_qname(aliased) if aliased is not None else None
+            return self.resolve_qname(dotted)
+        if isinstance(annotation, ast.Name):
+            local = module.symbols.get(annotation.id)
+            if local is not None:
+                return local
+            aliased = module.imports.alias_target(annotation.id)
+            return self.resolve_qname(aliased) if aliased is not None else None
+        if isinstance(annotation, ast.Attribute):
+            resolved = module.imports.resolve(annotation)
+            return self.resolve_qname(resolved) if resolved is not None else None
+        if isinstance(annotation, ast.Subscript):  # Optional[X], List[X]: look inside
+            return None
+        return None
+
+    def resolve_qname(self, dotted: str, _depth: int = 0) -> str:
+        """Follow re-export chains: a dotted path that lands on a module's
+        ``from x import y as z`` alias resolves to the definition site.
+
+        Returns the input unchanged when it leaves the project (external
+        libraries) or cannot be followed (guarded against import cycles
+        by a depth bound).
+        """
+        if _depth > 16 or dotted in self.functions or dotted in self.classes:
+            return dotted
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            head, rest = parts[cut], parts[cut + 1 :]
+            target = module.symbols.get(head)
+            if target is None:
+                aliased = module.imports.alias_target(head)
+                if aliased is None:
+                    return dotted
+                return self.resolve_qname(".".join([aliased, *rest]), _depth + 1)
+            if not rest:
+                return target
+            return self.resolve_qname(".".join([target, *rest]), _depth + 1)
+        return dotted
+
+    def lookup_method(self, class_qname: str, method: str) -> Optional[str]:
+        """Resolve *method* on a class, walking project base classes."""
+        seen: Set[str] = set()
+        stack = [class_qname]
+        while stack:
+            qname = stack.pop()
+            if qname in seen:
+                continue
+            seen.add(qname)
+            info = self.classes.get(qname)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            stack.extend(self.resolve_qname(b) for b in info.bases)
+        return None
+
+    def class_inherits(self, class_qname: str, dotted_suffix: str) -> bool:
+        """True when the class (transitively) names a base whose dotted
+        path ends with *dotted_suffix* (e.g. ``BaseHTTPRequestHandler``)."""
+        seen: Set[str] = set()
+        stack = [class_qname]
+        while stack:
+            qname = stack.pop()
+            if qname in seen:
+                continue
+            seen.add(qname)
+            info = self.classes.get(qname)
+            if info is None:
+                continue
+            for base in info.bases:
+                resolved = self.resolve_qname(base)
+                if resolved.split(".")[-1] == dotted_suffix or resolved.endswith(
+                    "." + dotted_suffix
+                ):
+                    return True
+                stack.append(resolved)
+        return False
+
+    # -- pass 3: body analysis ------------------------------------------------
+
+    def _analyze_bodies(self, module: ModuleInfo) -> None:
+        # Synthetic unit for module-level statements (thread targets and
+        # sinks can appear at import time, e.g. in scripts and fixtures).
+        top = FunctionInfo(
+            qname=f"{module.name}.<module>",
+            module=module.name,
+            cls=None,
+            name="<module>",
+            node=module.tree,
+            path=module.path,
+        )
+        self.functions[top.qname] = top
+        _BodyWalker(self, module, top, None).walk_body(module.tree.body)
+        for fn in list(self.functions.values()):
+            if fn.module != module.name or fn.name == "<module>":
+                continue
+            cls_info = self.classes.get(fn.cls) if fn.cls else None
+            _BodyWalker(self, module, fn, cls_info).walk_body(
+                list(ast.iter_child_nodes(fn.node))
+            )
+
+    # -- queries --------------------------------------------------------------
+
+    def callees(self, qname: str) -> Iterator[str]:
+        fn = self.functions.get(qname)
+        if fn is None:
+            return
+        for site in fn.calls:
+            if site.callee is not None:
+                yield site.callee
+
+    def project_callees(self, qname: str) -> Iterator[str]:
+        for callee in self.callees(qname):
+            if callee in self.functions:
+                yield callee
+
+    def reverse_edges(self) -> Dict[str, Set[str]]:
+        """callee qname -> set of caller qnames (project functions only)."""
+        reverse: Dict[str, Set[str]] = {}
+        for qname, fn in self.functions.items():
+            for site in fn.calls:
+                if site.callee is not None and site.callee in self.functions:
+                    reverse.setdefault(site.callee, set()).add(qname)
+        return reverse
+
+    def reachable_from(self, roots: Sequence[str]) -> Set[str]:
+        """All project functions transitively callable from *roots*
+        (cycle-safe worklist walk)."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            qname = stack.pop()
+            if qname in seen:
+                continue
+            seen.add(qname)
+            stack.extend(c for c in self.project_callees(qname) if c not in seen)
+        return seen
+
+    def to_json(self) -> str:
+        """The call graph as stable JSON (the ``lint-graph`` artifact)."""
+        doc = {
+            "version": 1,
+            "modules": {
+                name: {"path": m.path, "symbols": dict(sorted(m.symbols.items()))}
+                for name, m in sorted(self.modules.items())
+            },
+            "functions": {
+                qname: {
+                    "path": fn.path,
+                    "class": fn.cls,
+                    "calls": sorted({s.callee for s in fn.calls if s.callee is not None}),
+                }
+                for qname, fn in sorted(self.functions.items())
+            },
+            "classes": {
+                qname: {
+                    "bases": list(c.bases),
+                    "methods": dict(sorted(c.methods.items())),
+                    "locks": sorted(c.lock_attrs),
+                    "mutable_attrs": sorted(c.mutable_attrs),
+                }
+                for qname, c in sorted(self.classes.items())
+            },
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+
+
+class _BodyWalker:
+    """One function body's resolution pass: calls, locks, shared accesses."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        cls: Optional[ClassInfo],
+    ) -> None:
+        self.index = index
+        self.module = module
+        self.fn = fn
+        self.cls = cls
+        self.lock_stack: List[str] = []
+        #: local name -> constructed/annotated class qname
+        self.local_types: Dict[str, str] = {}
+        #: local name -> lock id (``lk = threading.Lock()`` at function scope)
+        self.local_locks: Dict[str, str] = {}
+        #: names assigned locally (shadow module globals)
+        self.local_names: Set[str] = set(fn.params)
+        #: names the body declared ``global``: assignments rebind the module
+        self.declared_globals: Set[str] = set()
+        #: directly nested def names -> qname
+        self.nested: Dict[str, str] = {}
+        if isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._annotate_params(fn.node)
+
+    def _annotate_params(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for arg in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]:
+            if arg.annotation is None:
+                continue
+            resolved = self._resolve_type_expr(arg.annotation)
+            if resolved is not None:
+                self.local_types[arg.arg] = resolved
+
+    def _resolve_type_expr(self, annotation: ast.expr) -> Optional[str]:
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            # String annotation: treat the text as a dotted name.
+            dotted = annotation.value.strip().strip('"')
+            return self.index.resolve_qname(dotted) if dotted.isidentifier() or "." in dotted else None
+        if isinstance(annotation, ast.Name):
+            local = self.module.symbols.get(annotation.id)
+            if local is not None and local in self.index.classes:
+                return local
+            aliased = self.module.imports.alias_target(annotation.id)
+            if aliased is not None:
+                return self.index.resolve_qname(aliased)
+            return None
+        if isinstance(annotation, ast.Attribute):
+            resolved = self.module.imports.resolve(annotation)
+            return self.index.resolve_qname(resolved) if resolved else None
+        return None
+
+    # -- walking ---------------------------------------------------------------
+
+    def walk_body(self, stmts: Sequence[ast.AST]) -> None:
+        for stmt in stmts:
+            self._visit(stmt)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested def: its body is its own function unit; record the
+            # binding so references to the name resolve.  Top-level defs
+            # seen from the synthetic ``<module>`` unit live under the
+            # module qname, not under ``<module>``.
+            candidate = f"{self.fn.qname}.{node.name}"
+            if candidate not in self.index.functions:
+                candidate = self.module.symbols.get(node.name, candidate)
+            self.nested[node.name] = candidate
+            self.local_names.add(node.name)
+            return
+        if isinstance(node, (ast.ClassDef, ast.Lambda)):
+            return
+        if isinstance(node, ast.Global):
+            self.declared_globals.update(node.names)
+            return
+        if isinstance(node, ast.With) or isinstance(node, ast.AsyncWith):
+            self._visit_with(node)
+            return
+        if isinstance(node, ast.Assign):
+            self._visit_assign(node)
+            return
+        if isinstance(node, ast.AnnAssign):
+            self._visit_annassign(node)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._record_store_access(node.target, node)
+            self._visit(node.value)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._record_store_access(target, node)
+            return
+        if isinstance(node, ast.For) or isinstance(node, ast.AsyncFor):
+            self._record_iterate(node.iter)
+            for name in ast.walk(node.target):
+                if isinstance(name, ast.Name):
+                    self.local_names.add(name.id)
+            for child in [node.iter, *node.body, *node.orelse]:
+                self._visit(child)
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                self._record_iterate(gen.iter)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_with(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.With, ast.AsyncWith))
+        acquired: List[str] = []
+        for item in node.items:
+            self._visit(item.context_expr)
+            lock = self._lock_id(item.context_expr)
+            if lock is not None:
+                self.fn.acquisitions.append(
+                    LockAcquisition(
+                        lock=lock,
+                        held_before=tuple([*self.lock_stack, *acquired]),
+                        node=item.context_expr,
+                    )
+                )
+                acquired.append(lock)
+        self.lock_stack.extend(acquired)
+        try:
+            self.walk_body(node.body)
+        finally:
+            for _ in acquired:
+                self.lock_stack.pop()
+
+    def _visit_assign(self, node: ast.Assign) -> None:
+        self._visit(node.value)
+        constructed = self.index._constructed_type(self.module, node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if target.id in self.declared_globals:
+                    if target.id in self.module.globals_mutable:
+                        self._record_access(
+                            f"{self.module.name}.{target.id}", "rebind", node
+                        )
+                    continue
+                self.local_names.add(target.id)
+                if constructed in LOCK_TYPES:
+                    self.local_locks[target.id] = f"{self.fn.qname}.{target.id}"
+                elif constructed is not None:
+                    self.local_types[target.id] = constructed
+            else:
+                self._record_store_access(target, node)
+                self._visit(target)
+
+    def _visit_annassign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._visit(node.value)
+        if isinstance(node.target, ast.Name):
+            self.local_names.add(node.target.id)
+            annotated = self._resolve_type_expr(node.annotation)
+            if annotated is not None:
+                self.local_types[node.target.id] = annotated
+        elif node.value is not None:
+            self._record_store_access(node.target, node)
+
+    def _visit_call(self, node: ast.Call) -> None:
+        callee = self._resolve_call(node)
+        self.fn.calls.append(
+            CallSite(node=node, callee=callee, held_locks=tuple(self.lock_stack))
+        )
+        # Mutator / iterator method calls on shared state.
+        if isinstance(node.func, ast.Attribute):
+            target = self._shared_target(node.func.value)
+            if target is not None:
+                if node.func.attr in MUTATOR_METHODS:
+                    self._record_access(target, "mutate", node)
+                elif node.func.attr in _ITERATING_METHODS:
+                    self._record_access(target, "iterate", node)
+        for child in [node.func, *node.args, *[k.value for k in node.keywords]]:
+            self._visit(child)
+
+    # -- shared-state accesses -------------------------------------------------
+
+    def _shared_target(self, expr: ast.expr) -> Optional[str]:
+        """The shared-state id *expr* denotes, if any."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.cls is not None
+            and expr.attr in self.cls.mutable_attrs
+        ):
+            return f"{self.cls.qname}.{expr.attr}"
+        if (
+            isinstance(expr, ast.Name)
+            and expr.id in self.module.globals_mutable
+            and expr.id not in self.local_names
+        ):
+            return f"{self.module.name}.{expr.id}"
+        return None
+
+    def _record_access(self, target: str, kind: str, node: ast.AST) -> None:
+        self.fn.accesses.append(
+            Access(target=target, kind=kind, node=node, held_locks=tuple(self.lock_stack))
+        )
+
+    def _record_store_access(self, target: ast.expr, stmt: ast.AST) -> None:
+        """Record subscript stores / attr rebinds that hit shared state."""
+        if isinstance(target, ast.Subscript):
+            shared = self._shared_target(target.value)
+            if shared is not None:
+                self._record_access(shared, "mutate", stmt)
+        elif isinstance(target, ast.Attribute):
+            shared = self._shared_target(target)
+            if shared is not None:
+                self._record_access(shared, "rebind", stmt)
+        elif isinstance(target, ast.Name):
+            if (
+                target.id in self.declared_globals
+                and target.id in self.module.globals_mutable
+            ):
+                self._record_access(f"{self.module.name}.{target.id}", "rebind", stmt)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store_access(elt, stmt)
+
+    def _record_iterate(self, iter_expr: ast.expr) -> None:
+        shared = self._shared_target(iter_expr)
+        if shared is not None:
+            self._record_access(shared, "iterate", iter_expr)
+
+    # -- lock and call resolution ----------------------------------------------
+
+    def _lock_id(self, expr: ast.expr) -> Optional[str]:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.cls is not None
+            and expr.attr in self.cls.lock_attrs
+        ):
+            return f"{self.cls.qname}.{expr.attr}"
+        if isinstance(expr, ast.Name):
+            if expr.id in self.local_locks:
+                return self.local_locks[expr.id]
+            if expr.id in self.module.global_locks and expr.id not in self.local_names:
+                return f"{self.module.name}.{expr.id}"
+        return None
+
+    def _resolve_call(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self.resolve_name(func.id)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute_call(func)
+        return None
+
+    def resolve_name(self, name: str) -> Optional[str]:
+        """Resolve a bare name reference to a qname / dotted path."""
+        if name in self.nested:
+            return self.nested[name]
+        if name in self.local_names:
+            return None  # rebound locally: target unknown
+        local = self.module.symbols.get(name)
+        if local is not None:
+            return local
+        aliased = self.module.imports.alias_target(name)
+        if aliased is not None:
+            return self.index.resolve_qname(aliased)
+        # Unimported bare name: a builtin (``open``) or an unresolvable
+        # reference; report the name itself so rule tables can match
+        # builtins.
+        return name
+
+    def _resolve_attribute_call(self, func: ast.Attribute) -> Optional[str]:
+        chain: List[str] = []
+        expr: ast.expr = func
+        while isinstance(expr, ast.Attribute):
+            chain.append(expr.attr)
+            expr = expr.value
+        chain.reverse()  # attribute names outermost-last
+        if isinstance(expr, ast.Name):
+            root = expr.id
+            if root == "self" and self.cls is not None:
+                return self._resolve_self_chain(chain)
+            rooted_type = self.local_types.get(root)
+            if rooted_type is not None and root in self.local_names:
+                return self._resolve_typed_chain(rooted_type, chain)
+            resolved = self.module.imports.resolve(func)
+            if resolved is not None:
+                return self.index.resolve_qname(resolved)
+            local = self.module.symbols.get(root)
+            if local is not None and root not in self.local_names:
+                return self.index.resolve_qname(".".join([local, *chain]))
+        return None
+
+    def _resolve_self_chain(self, chain: List[str]) -> Optional[str]:
+        assert self.cls is not None
+        if len(chain) == 1:
+            return self.index.lookup_method(self.cls.qname, chain[0])
+        attr_type = self.cls.attr_types.get(chain[0])
+        if attr_type is None:
+            return None
+        return self._resolve_typed_chain(attr_type, chain[1:])
+
+    def _resolve_typed_chain(self, type_qname: str, chain: List[str]) -> Optional[str]:
+        if len(chain) != 1:
+            return None
+        if type_qname in self.index.classes:
+            return self.index.lookup_method(type_qname, chain[0])
+        # External class (e.g. concurrent.futures.ThreadPoolExecutor):
+        # keep the dotted form so rules can match on it.
+        return f"{type_qname}.{chain[0]}"
+
+
+def resolve_callable(
+    index: ProjectIndex, fn: FunctionInfo, expr: ast.expr
+) -> Optional[str]:
+    """Resolve a callable *reference* (not a call) inside *fn*'s body.
+
+    Covers the forms that matter for sink and thread-target analysis:
+    a bare name (nested def, module function, import), ``self.method``,
+    and a dotted path through imports.  Returns a project function qname
+    when the target is in the index, a canonical dotted name for
+    external references, or ``None``.
+    """
+    module = index.modules.get(fn.module)
+    if module is None:
+        return None
+    if isinstance(expr, ast.Name):
+        nested = f"{fn.qname}.{expr.id}"
+        if nested in index.functions:
+            return nested
+        local = module.symbols.get(expr.id)
+        if local is not None:
+            return index.resolve_qname(local)
+        aliased = module.imports.alias_target(expr.id)
+        if aliased is not None:
+            return index.resolve_qname(aliased)
+        return None
+    if isinstance(expr, ast.Attribute):
+        if (
+            isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and fn.cls is not None
+        ):
+            return index.lookup_method(fn.cls, expr.attr)
+        resolved = module.imports.resolve(expr)
+        if resolved is not None:
+            return index.resolve_qname(resolved)
+        root = expr.value
+        chain = [expr.attr]
+        while isinstance(root, ast.Attribute):
+            chain.insert(0, root.attr)
+            root = root.value
+        if isinstance(root, ast.Name):
+            local = module.symbols.get(root.id)
+            if local is not None:
+                return index.resolve_qname(".".join([local, *chain]))
+    return None

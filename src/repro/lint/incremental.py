@@ -1,0 +1,179 @@
+"""Incremental lint cache: skip re-analysis of unchanged files.
+
+``make lint`` runs on every edit-test cycle; on an unchanged tree the
+whole run should cost file hashing, not parsing.  The cache stores two
+kinds of entries under ``results/lint-cache/``:
+
+* **per-file local findings** — keyed on the file's content hash, so an
+  edited file (and only an edited file) re-lints;
+* **one project entry** — the interprocedural findings (REP008–REP012)
+  depend on *every* file, so they are keyed on a digest of the whole
+  ``(path, content-hash)`` list and recomputed whenever anything
+  changes anywhere.
+
+Both kinds carry a **stamp** mixing the ruleset digest (a hash of every
+module in ``repro/lint`` itself, so editing a rule invalidates all
+entries) with a digest of the effective configuration (so flipping a
+``per-rule-exclude`` cannot serve stale findings).  Entries are written
+atomically and any unreadable or mismatched entry is a silent miss —
+the cache can be deleted at any time without changing results, only
+timings.  ``--no-incremental`` bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.util.atomicio import atomic_write_text
+
+__all__ = ["CACHE_SCHEMA_VERSION", "LintCache", "default_cache_dir", "ruleset_digest"]
+
+#: Bumped when the entry layout changes; old entries become misses.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir(root: Path) -> Path:
+    """Where the cache lives for a project rooted at *root*."""
+    return root / "results" / "lint-cache"
+
+
+@functools.lru_cache(maxsize=1)
+def ruleset_digest() -> str:
+    """Hash of the linter's own source: any rule edit invalidates the cache."""
+    package_dir = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.glob("*.py")):
+        digest.update(path.name.encode("utf-8"))
+        try:
+            digest.update(path.read_bytes())
+        except OSError:  # vanished mid-walk: treat as absent
+            digest.update(b"<unreadable>")
+    return digest.hexdigest()
+
+
+def _config_digest(config: LintConfig) -> str:
+    doc = {
+        "enable": sorted(config.enable) if config.enable is not None else None,
+        "disable": sorted(config.disable),
+        "exclude": list(config.exclude),
+        "per_rule_exclude": {
+            code: list(patterns)
+            for code, patterns in sorted(config.per_rule_exclude.items())
+        },
+        "root": str(config.root.resolve()),
+    }
+    return hashlib.sha256(json.dumps(doc, sort_keys=True).encode("utf-8")).hexdigest()
+
+
+def _content_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8", errors="replace")).hexdigest()
+
+
+class LintCache:
+    """Content-addressed store of per-file and whole-tree lint findings."""
+
+    def __init__(self, cache_dir: Path, config: LintConfig) -> None:
+        self.cache_dir = Path(cache_dir)
+        self._stamp = hashlib.sha256(
+            f"{CACHE_SCHEMA_VERSION}:{ruleset_digest()}:{_config_digest(config)}".encode()
+        ).hexdigest()
+
+    # -- keys -------------------------------------------------------------------
+
+    def _local_entry(self, path: Path) -> Path:
+        name = hashlib.sha256(str(path.resolve()).encode("utf-8")).hexdigest()
+        return self.cache_dir / "files" / f"{name}.json"
+
+    def tree_key(self, sources: Sequence[Tuple[Path, str]]) -> str:
+        """Digest of the whole readable file set (paths and contents)."""
+        digest = hashlib.sha256(self._stamp.encode("utf-8"))
+        for path, source in sorted(sources, key=lambda item: str(item[0])):
+            digest.update(str(path).encode("utf-8"))
+            digest.update(_content_sha(source).encode("utf-8"))
+        return digest.hexdigest()
+
+    # -- entry I/O --------------------------------------------------------------
+
+    @staticmethod
+    def _decode_findings(raw: object) -> Optional[List[Finding]]:
+        if not isinstance(raw, list):
+            return None
+        findings: List[Finding] = []
+        try:
+            for item in raw:
+                findings.append(
+                    Finding(
+                        path=item["path"],
+                        line=item["line"],
+                        col=item["col"],
+                        code=item["code"],
+                        severity=Severity(item["severity"]),
+                        message=item["message"],
+                    )
+                )
+        except (KeyError, TypeError, ValueError):
+            return None
+        return findings
+
+    def _read_entry(self, entry: Path) -> Optional[dict]:
+        try:
+            doc = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) or doc.get("stamp") != self._stamp:
+            return None
+        return doc
+
+    def _write_entry(self, entry: Path, doc: dict) -> None:
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_text(entry, json.dumps(doc, sort_keys=True) + "\n")
+        except OSError:  # best-effort: a read-only tree still lints
+            pass
+
+    # -- per-file local findings ------------------------------------------------
+
+    def load_local(self, path: Path, source: str) -> Optional[List[Finding]]:
+        doc = self._read_entry(self._local_entry(path))
+        if doc is None:
+            return None
+        if doc.get("path") != str(path) or doc.get("content_sha") != _content_sha(source):
+            return None
+        return self._decode_findings(doc.get("findings"))
+
+    def store_local(self, path: Path, source: str, findings: Sequence[Finding]) -> None:
+        self._write_entry(
+            self._local_entry(path),
+            {
+                "stamp": self._stamp,
+                "path": str(path),
+                "content_sha": _content_sha(source),
+                "findings": [finding.as_dict() for finding in findings],
+            },
+        )
+
+    # -- whole-tree project findings --------------------------------------------
+
+    def _project_entry(self, key: str) -> Path:
+        return self.cache_dir / "project" / f"{key}.json"
+
+    def load_project(self, key: str) -> Optional[List[Finding]]:
+        doc = self._read_entry(self._project_entry(key))
+        if doc is None:
+            return None
+        return self._decode_findings(doc.get("findings"))
+
+    def store_project(self, key: str, findings: Sequence[Finding]) -> None:
+        self._write_entry(
+            self._project_entry(key),
+            {
+                "stamp": self._stamp,
+                "findings": [finding.as_dict() for finding in findings],
+            },
+        )

@@ -23,7 +23,7 @@ REP007    non-atomic ``open(..., "w")`` writes in library code
 from __future__ import annotations
 
 import ast
-from typing import TYPE_CHECKING, ClassVar, Dict, FrozenSet, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Any, ClassVar, Dict, FrozenSet, Optional, Tuple, Type
 
 from repro.lint.findings import Severity
 
@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "Rule",
+    "ProjectRule",
     "GlobalRngRule",
     "UnseededGeneratorRule",
     "NondeterministicCallRule",
@@ -42,6 +43,7 @@ __all__ = [
     "ALL_RULES",
     "RULES_BY_CODE",
     "KNOWN_CODES",
+    "PROJECT_CODES",
 ]
 
 
@@ -57,6 +59,28 @@ class Rule:
     rationale: ClassVar[str] = ""
 
     def visit(self, ctx: "ModuleContext", node: ast.AST) -> None:
+        raise NotImplementedError
+
+
+class ProjectRule:
+    """One whole-program check, run once over the project index.
+
+    Unlike :class:`Rule`, which sees one module at a time, a project
+    rule receives the cross-file :class:`~repro.lint.graph.ProjectIndex`
+    (import graph, call graph, lock/shared-state facts) and reports
+    through a :class:`~repro.lint.engine.ProjectReporter`, which applies
+    the same inline-suppression and per-rule-exclude machinery as the
+    local pass.  Implementations live in :mod:`repro.lint.taint` and
+    :mod:`repro.lint.concurrency`; the engine assembles them into
+    ``PROJECT_RULES``.
+    """
+
+    code: ClassVar[str]
+    name: ClassVar[str]
+    severity: ClassVar[Severity] = Severity.ERROR
+    rationale: ClassVar[str] = ""
+
+    def check(self, index: Any, reporter: Any) -> None:
         raise NotImplementedError
 
 
@@ -524,4 +548,12 @@ ALL_RULES: Tuple[Rule, ...] = (
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
 
-KNOWN_CODES: FrozenSet[str] = frozenset(RULES_BY_CODE)
+#: Codes of the interprocedural (whole-program) rules.  Declared here as
+#: a static list so config validation never needs to import the analysis
+#: modules; the engine asserts at import time that the registered
+#: project rules match this set exactly.
+PROJECT_CODES: FrozenSet[str] = frozenset(
+    {"REP008", "REP009", "REP010", "REP011", "REP012"}
+)
+
+KNOWN_CODES: FrozenSet[str] = frozenset(RULES_BY_CODE) | PROJECT_CODES

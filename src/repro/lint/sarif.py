@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 rendering for ``python -m repro.lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the report from the CI lint job turns every
+finding into an inline PR annotation at the offending line.  The
+document produced here is deliberately minimal — one run, one driver,
+the full rule catalog (so rule metadata renders even for codes with no
+findings in this run), and one result per finding with a physical
+location.  Columns are converted from the linter's 0-based offsets to
+SARIF's 1-based convention.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+
+def _level(severity: str) -> str:
+    return "error" if severity == Severity.ERROR.value else "warning"
+
+
+def _rule_entry(code: str, name: str, severity: str, rationale: str) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "id": code,
+        "name": name,
+        "defaultConfiguration": {"level": _level(severity)},
+    }
+    if rationale:
+        entry["shortDescription"] = {"text": rationale}
+    return entry
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    *,
+    rule_catalog: Sequence[Any] = (),
+    tool_version: str = "",
+) -> str:
+    """Render *findings* as a SARIF 2.1.0 document (stable key order)."""
+    rules: List[Dict[str, Any]] = [
+        _rule_entry("REP000", "parse-error", Severity.ERROR.value, "file does not parse")
+    ]
+    seen = {"REP000"}
+    for rule in rule_catalog:
+        if rule.code in seen:
+            continue
+        seen.add(rule.code)
+        rules.append(_rule_entry(rule.code, rule.name, rule.severity.value, rule.rationale))
+    rules.sort(key=lambda entry: entry["id"])
+
+    results = [
+        {
+            "ruleId": finding.code,
+            "level": _level(finding.severity.value),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+
+    driver: Dict[str, Any] = {"name": "repro-lint", "rules": rules}
+    if tool_version:
+        driver["version"] = tool_version
+    doc = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -42,7 +42,6 @@ import hashlib
 import json
 import os
 import sys
-import tempfile
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -55,6 +54,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 from repro.obs.spans import span as obs_span
 from repro.runtime.fingerprint import code_fingerprint
+from repro.util.atomicio import atomic_write_text
 
 __all__ = [
     "CacheKeyError",
@@ -194,17 +194,7 @@ class ResultCache:
             "payload": json.loads(body),
         }
         text = canonical_json(entry, allow_nan=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(text)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, text)
         return path
 
     def __contains__(self, key: str) -> bool:

@@ -161,13 +161,18 @@ class ServiceApp:
                     job_id=existing["id"],
                 )
             job_id = obs_clock.new_id()
-            self.store.create(
+            # Queue the journal record only: fsync under the submit lock
+            # would serialize every request thread behind the disk
+            # (REP012).  The flush below makes it durable before the job
+            # is enqueued or the 202 leaves the building.
+            self.store.create_deferred(
                 job_id,
                 kind=spec.kind,
                 spec=spec.canonical(),
                 key=key,
                 request_span_id=request_span_id,
             )
+        self.store.flush()
         self.metrics.inc("analyses_submitted_total")
         self.runner.submit(job_id)
         return 202, {

@@ -14,8 +14,16 @@ Uploads are spooled content-addressed into ``<state-dir>/uploads/`` as
 uploads of the same log and lets a re-enqueued job find its input after
 a crash.
 
-The store is thread-safe: the HTTP handler threads and the worker pool
-all funnel through one lock for the in-memory map and the append fd.
+The store is thread-safe with a two-lock discipline: ``_lock`` guards
+the in-memory map and the pending-line queue and is never held across
+I/O; ``_io_lock`` serializes the journal appends themselves.  Writers
+queue their journal line under ``_lock`` and then :meth:`flush` — by
+the time ``flush`` returns, the caller's line is fsync'd (written by
+this flush, or by a concurrent one that drained the queue first, which
+must have completed before this one could acquire ``_io_lock``).
+``create_deferred`` lets a caller that already holds its own lock (the
+service's submit lock) queue the record and flush after releasing it.
+The lock order is always ``_io_lock`` then ``_lock``, never reversed.
 """
 
 from __future__ import annotations
@@ -51,8 +59,10 @@ class JobStore:
         os.makedirs(self.uploads_dir, exist_ok=True)
         self.path = os.path.join(state_dir, JOBS_JOURNAL_NAME)
         self._lock = threading.Lock()
+        self._io_lock = threading.Lock()
         self._jobs: Dict[str, Dict[str, Any]] = {}
         self._order: List[str] = []
+        self._pending: List[str] = []
         self._load()
 
     # -- journal replay ------------------------------------------------------
@@ -83,19 +93,37 @@ class JobStore:
 
     # -- writes --------------------------------------------------------------
 
-    def _append(self, record: Dict[str, Any]) -> None:
-        line = json.dumps({"type": "job", **record}, sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+    def _queue(self, record: Dict[str, Any]) -> None:
+        """Queue *record*'s journal line; caller must hold ``_lock``."""
+        self._pending.append(json.dumps({"type": "job", **record}, sort_keys=True) + "\n")
 
-    def create(self, job_id: str, **fields: Any) -> Dict[str, Any]:
-        """Register a new job in state ``queued`` and journal it."""
+    def flush(self) -> None:
+        """Drain queued journal lines to disk (append + fsync).
+
+        Safe to call with no outer lock held; never call it while
+        holding a lock that journal writers also take.
+        """
+        with self._io_lock:
+            with self._lock:
+                lines, self._pending = self._pending, []
+            if not lines:
+                return
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write("".join(lines))
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def create_deferred(self, job_id: str, **fields: Any) -> Dict[str, Any]:
+        """Register a new ``queued`` job and queue its journal line.
+
+        The record is *not* durable until the next :meth:`flush`; use
+        this when the caller holds its own lock and must not block on
+        I/O inside it.
+        """
         record = {
             "id": job_id,
             "status": "queued",
-            "created_ts": round(time.time(), 6),
+            "created_ts": round(time.time(), 6),  # repro-lint: disable=REP003 -- audit stamp, never in cache identity (REP008-verified)
             **fields,
         }
         with self._lock:
@@ -103,8 +131,14 @@ class JobStore:
                 raise ValueError(f"duplicate job id {job_id}")
             self._jobs[job_id] = record
             self._order.append(job_id)
-            self._append(record)
+            self._queue(record)
         return dict(record)
+
+    def create(self, job_id: str, **fields: Any) -> Dict[str, Any]:
+        """Register a new job in state ``queued`` and journal it."""
+        record = self.create_deferred(job_id, **fields)
+        self.flush()
+        return record
 
     def update(self, job_id: str, **fields: Any) -> Dict[str, Any]:
         """Merge *fields* into a job's record and journal the new state."""
@@ -114,7 +148,8 @@ class JobStore:
                 raise KeyError(f"unknown job {job_id}")
             merged = {**current, **fields}
             self._jobs[job_id] = merged
-            self._append(merged)
+            self._queue(merged)
+        self.flush()
         return dict(merged)
 
     # -- reads ---------------------------------------------------------------

@@ -1,0 +1,40 @@
+"""Seeded true positives: wall-clock taint reaching cache identity.
+
+``submit`` builds a cache key from a timestamp that arrives through a
+helper-function chain (``fresh_stamp``) — only the interprocedural
+returns-summary propagation can connect the source to the sink
+(REP008).  ``cached`` hands an impure callable to ``get_or_compute``
+(REP009).  ``submit_clean`` keys on request parameters only and must
+stay unflagged.
+"""
+
+import time
+
+
+class ResultCache:
+    def key(self, experiment, kwargs):
+        return f"{experiment}:{sorted(kwargs.items())}"
+
+    def get_or_compute(self, key, compute):
+        return compute()
+
+
+def fresh_stamp():
+    return time.time()  # repro-lint: disable=REP003 -- seeding the taint under test
+
+
+def measure():
+    return time.time()  # repro-lint: disable=REP003 -- seeding the impurity under test
+
+
+def submit(cache: ResultCache):
+    stamp = fresh_stamp()
+    return cache.key("analysis", {"stamp": stamp})  # seeded REP008: tainted key
+
+
+def cached(cache: ResultCache):
+    return cache.get_or_compute("analysis:v1", measure)  # seeded REP009: impure compute
+
+
+def submit_clean(cache: ResultCache, n_jobs):
+    return cache.key("analysis", {"n_jobs": n_jobs})  # pure: must NOT be flagged

@@ -1,0 +1,28 @@
+"""Seeded true positive: a miniature job store with an unguarded shared dict.
+
+``mark_running`` executes on pool threads (the ``submit`` call makes it
+a thread entry) and writes ``self.jobs`` with no lock held — the exact
+shape of the race REP010 exists to catch.  ``mark_done`` shows the
+compliant pattern and must stay unflagged.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class MiniStore:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs = {}
+
+    def start(self, job_id):
+        pool = ThreadPoolExecutor(max_workers=4)
+        pool.submit(self.mark_running, job_id)
+        pool.submit(self.mark_done, job_id)
+
+    def mark_running(self, job_id):
+        self.jobs[job_id] = "running"  # seeded REP010: no lock held
+
+    def mark_done(self, job_id):
+        with self._lock:
+            self.jobs[job_id] = "done"  # guarded: must NOT be flagged

@@ -1,0 +1,14 @@
+"""Fixture: REP008 — a wall-clock read flows into the cache key."""
+
+import time
+
+from repro.runtime import TaskSpec
+
+
+def work(stamp):
+    return {"stamp": stamp}
+
+
+def submit():
+    stamp = time.time()  # repro-lint: disable=REP003 -- the taint flow, not the read, is under test
+    return TaskSpec(id="job", fn=work, kwargs={"stamp": stamp})  # violation: tainted kwargs

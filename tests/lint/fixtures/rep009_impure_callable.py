@@ -1,0 +1,13 @@
+"""Fixture: REP009 — the callable executed on a cache miss is impure."""
+
+import time
+
+from repro.runtime import TaskSpec
+
+
+def measure():
+    return time.time()  # repro-lint: disable=REP003 -- the impurity, not the read, is under test
+
+
+def submit():
+    return TaskSpec(id="job", fn=measure, kwargs={})  # violation: impure fn

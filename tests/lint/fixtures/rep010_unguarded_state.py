@@ -1,0 +1,17 @@
+"""Fixture: REP010 — shared dict mutated off-lock on a thread-reachable path."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.counts = {}
+
+    def start(self):
+        pool = ThreadPoolExecutor(max_workers=2)
+        pool.submit(self.work)
+
+    def work(self):
+        self.counts["hits"] = 1  # violation: no lock held

@@ -1,0 +1,18 @@
+"""Fixture: REP011 — two locks acquired in opposite orders."""
+
+import threading
+
+_lock_a = threading.Lock()
+_lock_b = threading.Lock()
+
+
+def forward():
+    with _lock_a:
+        with _lock_b:  # violation half: a -> b ...
+            pass
+
+
+def backward():
+    with _lock_b:
+        with _lock_a:  # ... and b -> a on another path
+            pass

@@ -1,0 +1,11 @@
+"""Fixture: REP012 — blocking call while holding a lock."""
+
+import threading
+import time
+
+_lock = threading.Lock()
+
+
+def slow_path():
+    with _lock:
+        time.sleep(0.01)  # violation: every thread queues behind the sleep

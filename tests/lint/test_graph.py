@@ -1,0 +1,261 @@
+"""Unit tests for the whole-program index (:mod:`repro.lint.graph`).
+
+The interprocedural rules are only as good as the call graph under
+them, so the resolution machinery gets direct coverage: package-aware
+module naming, aliased imports, ``from x import y as z`` re-export
+chains, call-graph cycles, typed attribute chains, and the
+lock/access collection the concurrency rules consume.
+"""
+
+import ast
+import json
+import textwrap
+
+from repro.lint.graph import ProjectIndex, module_name_for
+
+
+def _write(tmp_path, files):
+    paths = {}
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        paths[rel] = path
+    return paths
+
+
+def _index(tmp_path, files):
+    paths = _write(tmp_path, files)
+    pairs = [
+        (str(path), ast.parse(path.read_text(encoding="utf-8"), filename=str(path)))
+        for path in paths.values()
+    ]
+    return ProjectIndex.build(pairs)
+
+
+class TestModuleNameFor:
+    def test_package_layout(self, tmp_path):
+        _write(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/sub/__init__.py": "",
+                "pkg/sub/mod.py": "x = 1\n",
+            },
+        )
+        assert module_name_for(tmp_path / "pkg/sub/mod.py") == "pkg.sub.mod"
+        assert module_name_for(tmp_path / "pkg/sub/__init__.py") == "pkg.sub"
+        assert module_name_for(tmp_path / "pkg/__init__.py") == "pkg"
+
+    def test_file_outside_any_package_is_its_stem(self, tmp_path):
+        _write(tmp_path, {"solo.py": "x = 1\n"})
+        assert module_name_for(tmp_path / "solo.py") == "solo"
+
+
+class TestImportResolution:
+    def test_aliased_module_import(self, tmp_path):
+        index = _index(
+            tmp_path,
+            {
+                "helpers.py": """\
+                    def work():
+                        return 1
+                    """,
+                "app.py": """\
+                    import helpers as h
+
+
+                    def caller():
+                        return h.work()
+                    """,
+            },
+        )
+        assert set(index.project_callees("app.caller")) == {"helpers.work"}
+
+    def test_from_import_as_reexport_chain(self, tmp_path):
+        index = _index(
+            tmp_path,
+            {
+                "core.py": """\
+                    def work():
+                        return 1
+                    """,
+                "api.py": "from core import work as run\n",
+                "app.py": """\
+                    from api import run as go
+
+
+                    def caller():
+                        return go()
+                    """,
+            },
+        )
+        # The alias chain resolves to the definition site, not the re-export.
+        assert index.resolve_qname("api.run") == "core.work"
+        assert set(index.project_callees("app.caller")) == {"core.work"}
+
+    def test_external_calls_keep_their_canonical_dotted_name(self, tmp_path):
+        index = _index(
+            tmp_path,
+            {
+                "stats.py": """\
+                    import numpy as np
+
+
+                    def mean(values):
+                        return np.mean(values)
+                    """,
+            },
+        )
+        assert "numpy.mean" in set(index.callees("stats.mean"))
+        assert set(index.project_callees("stats.mean")) == set()
+
+    def test_resolve_qname_leaves_unknown_names_unchanged(self, tmp_path):
+        index = _index(tmp_path, {"m.py": "x = 1\n"})
+        assert index.resolve_qname("os.path.join") == "os.path.join"
+
+
+class TestCallGraph:
+    def test_cycle_is_safe_and_fully_reachable(self, tmp_path):
+        index = _index(
+            tmp_path,
+            {
+                "m.py": """\
+                    def f():
+                        return g()
+
+
+                    def g():
+                        return f()
+                    """,
+            },
+        )
+        assert index.reachable_from(["m.f"]) == {"m.f", "m.g"}
+        reverse = index.reverse_edges()
+        assert "m.f" in reverse["m.g"]
+        assert "m.g" in reverse["m.f"]
+
+    def test_reachable_from_unknown_root_is_empty(self, tmp_path):
+        index = _index(tmp_path, {"m.py": "x = 1\n"})
+        assert index.reachable_from(["nowhere.f"]) == set()
+
+    def test_typed_attribute_chain_resolves_to_method(self, tmp_path):
+        index = _index(
+            tmp_path,
+            {
+                "svc.py": """\
+                    class Store:
+                        def put(self, key):
+                            return key
+
+
+                    class App:
+                        def __init__(self):
+                            self.store = Store()
+
+                        def handle(self, key):
+                            return self.store.put(key)
+                    """,
+            },
+        )
+        assert set(index.project_callees("svc.App.handle")) == {"svc.Store.put"}
+
+    def test_module_level_statements_get_a_synthetic_unit(self, tmp_path):
+        index = _index(
+            tmp_path,
+            {
+                "script.py": """\
+                    def work():
+                        return 1
+
+
+                    work()
+                    """,
+            },
+        )
+        assert set(index.project_callees("script.<module>")) == {"script.work"}
+
+
+class TestLockAndAccessCollection:
+    def test_class_locks_attrs_and_guarded_mutation(self, tmp_path):
+        index = _index(
+            tmp_path,
+            {
+                "store.py": """\
+                    import threading
+
+
+                    class Store:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self.jobs = {}
+
+                        def put(self, key):
+                            with self._lock:
+                                self.jobs[key] = 1
+                    """,
+            },
+        )
+        cls = index.classes["store.Store"]
+        assert "_lock" in cls.lock_attrs
+        assert "jobs" in cls.mutable_attrs
+        put = index.functions["store.Store.put"]
+        [acquisition] = put.acquisitions
+        assert acquisition.lock.endswith("._lock")
+        mutations = [a for a in put.accesses if a.kind == "mutate"]
+        assert mutations
+        assert all(a.target == "store.Store.jobs" for a in mutations)
+        assert all(acquisition.lock in a.held_locks for a in mutations)
+
+    def test_module_global_lock_and_rebind(self, tmp_path):
+        index = _index(
+            tmp_path,
+            {
+                "state.py": """\
+                    import threading
+
+                    _lock = threading.Lock()
+                    registry = {}
+
+
+                    def reset():
+                        global registry
+                        registry = {}
+                    """,
+            },
+        )
+        module = index.modules["state"]
+        assert "_lock" in module.global_locks
+        assert "registry" in module.globals_mutable
+        reset = index.functions["state.reset"]
+        assert any(
+            a.target == "state.registry" and a.kind == "rebind" for a in reset.accesses
+        )
+
+
+class TestToJson:
+    def test_shape_and_stability(self, tmp_path):
+        index = _index(
+            tmp_path,
+            {
+                "helpers.py": """\
+                    def work():
+                        return 1
+                    """,
+                "app.py": """\
+                    import helpers as h
+
+
+                    def caller():
+                        return h.work()
+                    """,
+            },
+        )
+        first = index.to_json()
+        assert first == index.to_json()  # stable across renders
+        doc = json.loads(first)
+        assert doc["version"] == 1
+        assert set(doc) == {"version", "modules", "functions", "classes"}
+        assert "app" in doc["modules"]
+        assert doc["functions"]["app.caller"]["calls"] == ["helpers.work"]
+        assert doc["functions"]["app.<module>"]["class"] is None

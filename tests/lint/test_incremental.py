@@ -1,0 +1,179 @@
+"""Incremental lint cache: correctness, invalidation, and the warm-run bound.
+
+The cache must be invisible in results — a warm run returns byte-for-byte
+the cold run's findings — and only visible in timings.  The benchmark
+test at the bottom pins the acceptance bound: linting the repository's
+own unchanged ``src`` + ``tests`` tree through a warm cache costs file
+hashing, not parsing, and finishes in under a second.
+"""
+
+import shutil
+import time
+from pathlib import Path
+
+import repro.lint.engine as engine
+from repro.lint.cli import main
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import lint_paths
+from repro.lint.incremental import LintCache, default_cache_dir, ruleset_digest
+from repro.lint.rules import KNOWN_CODES
+
+CASES = Path(__file__).resolve().parent / "cases"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLOCKY = '''\
+import time
+
+
+def stamp():
+    return time.time()
+'''
+
+
+def _tree(tmp_path):
+    """A small tree with both local (REP003) and project findings."""
+    tree = tmp_path / "proj"
+    shutil.copytree(CASES, tree)
+    (tree / "clocky.py").write_text(CLOCKY, encoding="utf-8")
+    return tree
+
+
+def test_warm_run_matches_cold_and_never_parses(tmp_path, monkeypatch):
+    tree = _tree(tmp_path)
+    config = LintConfig()
+    cache_dir = tmp_path / "cache"
+    cold, cold_scanned = lint_paths(
+        [tree], config=config, cache=LintCache(cache_dir, config)
+    )
+    assert cold  # the tree is built to have findings worth caching
+    assert {f.code for f in cold} >= {"REP003", "REP008", "REP010"}
+
+    def boom(*args, **kwargs):
+        raise AssertionError("a fully warm run must not parse anything")
+
+    monkeypatch.setattr(engine.ast, "parse", boom)
+    warm, warm_scanned = lint_paths(
+        [tree], config=config, cache=LintCache(cache_dir, config)
+    )
+    assert warm == cold
+    assert warm_scanned == cold_scanned
+
+
+def test_edit_relints_only_the_changed_file(tmp_path, monkeypatch):
+    tree = _tree(tmp_path)
+    config = LintConfig()
+    cache_dir = tmp_path / "cache"
+    lint_paths([tree], config=config, cache=LintCache(cache_dir, config))
+
+    target = tree / "clocky.py"
+    target.write_text(
+        target.read_text(encoding="utf-8")
+        + "\n\ndef stamp_again():\n    return time.time()\n",
+        encoding="utf-8",
+    )
+
+    relinted = []
+    real = engine._lint_tree
+
+    def counting(tree_node, **kwargs):
+        relinted.append(kwargs["path"])
+        return real(tree_node, **kwargs)
+
+    monkeypatch.setattr(engine, "_lint_tree", counting)
+    findings, _ = lint_paths([tree], config=config, cache=LintCache(cache_dir, config))
+    # Every file is re-parsed (the project pass needs all trees), but
+    # only the edited file pays the local-rule walk again.
+    assert relinted == [str(target)]
+    assert sum(1 for f in findings if f.code == "REP003") == 2
+
+
+def test_config_change_and_content_change_are_misses(tmp_path):
+    config = LintConfig()
+    cache = LintCache(tmp_path / "cache", config)
+    source = "x = 1\n"
+    path = tmp_path / "m.py"
+    path.write_text(source, encoding="utf-8")
+
+    cache.store_local(path, source, [])
+    assert LintCache(tmp_path / "cache", config).load_local(path, source) == []
+    other_config = LintConfig(disable=frozenset({"REP003"}))
+    assert LintCache(tmp_path / "cache", other_config).load_local(path, source) is None
+    assert cache.load_local(path, source + "# edited\n") is None
+
+
+def test_corrupt_entries_are_silent_misses(tmp_path):
+    tree = _tree(tmp_path)
+    config = LintConfig()
+    cache_dir = tmp_path / "cache"
+    cold, _ = lint_paths([tree], config=config, cache=LintCache(cache_dir, config))
+
+    entries = list(cache_dir.rglob("*.json"))
+    assert entries  # both per-file and project entries were written
+    for entry in entries:
+        entry.write_text("{ not json", encoding="utf-8")
+
+    again, _ = lint_paths([tree], config=config, cache=LintCache(cache_dir, config))
+    assert again == cold
+
+
+def test_ruleset_digest_is_stable_and_nonempty():
+    digest = ruleset_digest()
+    assert digest == ruleset_digest()
+    assert len(digest) == 64
+
+
+def test_cli_cache_dir_and_no_incremental(tmp_path, capsys):
+    tree = _tree(tmp_path)
+    explicit = tmp_path / "explicit-cache"
+
+    rc = main(
+        [str(tree), "--no-config", "--cache-dir", str(explicit), "--format", "json"]
+    )
+    capsys.readouterr()
+    assert rc == 1
+    assert explicit.is_dir() and list(explicit.rglob("*.json"))
+
+    untouched = tmp_path / "never-created"
+    rc = main(
+        [
+            str(tree),
+            "--no-config",
+            "--no-incremental",
+            "--cache-dir",
+            str(untouched),
+            "--format",
+            "json",
+        ]
+    )
+    capsys.readouterr()
+    assert rc == 1
+    assert not untouched.exists()
+
+
+def test_default_cache_dir_lives_under_results():
+    assert default_cache_dir(Path("/x")) == Path("/x/results/lint-cache")
+
+
+def test_warm_full_tree_benchmark(tmp_path):
+    """Acceptance bound: the self-hosted tree warm-lints in under a second."""
+    config = load_config(REPO_ROOT / "pyproject.toml", known_codes=KNOWN_CODES)
+    paths = [REPO_ROOT / "src", REPO_ROOT / "tests"]
+    cache_dir = tmp_path / "cache"
+
+    start = time.monotonic()
+    cold, cold_scanned = lint_paths(
+        paths, config=config, cache=LintCache(cache_dir, config)
+    )
+    cold_seconds = time.monotonic() - start
+    assert cold_seconds < 60.0  # generous: the cold pass is the expensive one
+
+    start = time.monotonic()
+    warm, warm_scanned = lint_paths(
+        paths, config=config, cache=LintCache(cache_dir, config)
+    )
+    warm_seconds = time.monotonic() - start
+
+    assert warm == cold
+    assert warm_scanned == cold_scanned
+    assert warm_seconds < 1.0, f"warm lint took {warm_seconds:.2f}s"
+    assert warm_seconds < cold_seconds

@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 output: document shape, rule catalog, and CLI wiring."""
+
+import json
+
+from repro.lint.cli import main
+from repro.lint.engine import PROJECT_RULES
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ALL_RULES
+from repro.lint.sarif import render_sarif
+
+BAD_SOURCE = '''\
+import time
+
+
+def stamp():
+    return time.time()
+'''
+
+
+def _catalog():
+    return [*ALL_RULES, *PROJECT_RULES]
+
+
+def test_document_shape_and_rule_catalog():
+    doc = json.loads(render_sarif([], rule_catalog=_catalog()))
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    [run] = doc["runs"]
+    assert run["results"] == []
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    ids = [rule["id"] for rule in driver["rules"]]
+    assert ids == sorted(ids)
+    # The full catalog ships even with zero findings, including the
+    # parse-error pseudo-rule and the interprocedural rules.
+    assert {"REP000", "REP003", "REP008", "REP010", "REP012"} <= set(ids)
+    by_id = {rule["id"]: rule for rule in driver["rules"]}
+    assert by_id["REP008"]["defaultConfiguration"]["level"] == "error"
+    assert by_id["REP012"]["defaultConfiguration"]["level"] == "warning"
+    assert by_id["REP008"]["shortDescription"]["text"]
+
+
+def test_results_carry_one_based_physical_locations():
+    finding = Finding(
+        path="src/repro/x.py",
+        line=7,
+        col=0,
+        code="REP003",
+        severity=Severity.ERROR,
+        message="wall clock",
+    )
+    doc = json.loads(render_sarif([finding], rule_catalog=_catalog()))
+    [result] = doc["runs"][0]["results"]
+    assert result["ruleId"] == "REP003"
+    assert result["level"] == "error"
+    assert result["message"]["text"] == "wall clock"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "src/repro/x.py"
+    assert location["region"]["startLine"] == 7
+    assert location["region"]["startColumn"] == 1  # 0-based col -> 1-based
+
+
+def test_cli_format_sarif_end_to_end(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD_SOURCE, encoding="utf-8")
+    rc = main([str(tmp_path), "--no-config", "--format", "sarif"])
+    doc = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    [result] = doc["runs"][0]["results"]
+    assert result["ruleId"] == "REP003"
+    assert result["locations"][0]["physicalLocation"]["region"]["startLine"] == 5
+    assert result["locations"][0]["physicalLocation"]["artifactLocation"][
+        "uri"
+    ].endswith("bad.py")
+
+
+def test_cli_sarif_output_file(tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD_SOURCE, encoding="utf-8")
+    out = tmp_path / "report.sarif"
+    rc = main(
+        [str(tmp_path), "--no-config", "--format", "sarif", "--output", str(out)]
+    )
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "finding(s)" in captured.err  # summary still lands on stderr
+    doc = json.loads(out.read_text(encoding="utf-8"))
+    assert doc["runs"][0]["results"]
