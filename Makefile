@@ -3,7 +3,7 @@
 PYTHON ?= python
 JOBS ?= 4
 
-.PHONY: install test lint lint-graph chaos bench obs-bench perf-bench service-smoke experiments experiments-quick quick results archive clean
+.PHONY: install test lint lint-graph chaos bench obs-bench perf-bench service-smoke service-chaos experiments experiments-quick quick results archive clean
 
 install:
 	pip install -e .[test]
@@ -38,6 +38,14 @@ lint-graph:
 # Nonzero on the first broken invariant; state is kept for artifacts.
 service-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.service.smoke --state-dir results/service-smoke
+
+# Kill-and-recover drill: boots the real server under --chaos, SIGKILLs
+# it mid-job, tears the journal tail, reboots on the same state dir and
+# gates on full recovery — zero lost terminal states, the interrupted
+# job finishing, and no duplicate computes (see docs/SERVICE.md,
+# "Resilience").  State is kept for artifacts.
+service-chaos:
+	PYTHONPATH=src $(PYTHON) -m repro.service.drill --state-dir results/service-chaos
 
 # Failure drills: fault injection, kill-and-resume, cache contention.
 # pytest-timeout (when installed) backstops a hang in the drills

@@ -50,6 +50,7 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "InjectedFault",
+    "apply_armed_fault",
     "corrupt_file",
     "parse_chaos_spec",
     "truncate_file",
@@ -115,6 +116,41 @@ class ArmedFault:
         return _FaultingCall(fn, self)
 
 
+def apply_armed_fault(fault: ArmedFault) -> None:
+    """Apply *fault*'s in-process side effect, right here, right now.
+
+    The shared execution half of a fault: emits the worker-side
+    ``fault_fired`` breadcrumb, then raises (``raise``), kills the
+    process (``exit``) or stalls (``hang``) exactly like the executor's
+    wrapped calls do.  ``corrupt`` has no in-process effect — its damage
+    is substituting the result (executor path) or tearing a journal
+    (service path), which stays with the caller.  Used both by
+    :class:`_FaultingCall` and by the service's job worker
+    (:mod:`repro.service.worker`), so runtime and service chaos share
+    one set of fault semantics.
+    """
+    from repro.obs import event as obs_event
+
+    # Worker-side breadcrumb: with tracing on, the streamed trace
+    # shows the fault firing *inside* the worker — even for an
+    # ``exit`` fault that takes the process down right after.
+    obs_event(
+        "fault_fired",
+        fault=fault.kind,
+        task=fault.task,
+        attempt=fault.attempt,
+        rule=fault.rule,
+    )
+    if fault.kind == "raise":
+        raise InjectedFault(
+            f"injected fault (task {fault.task!r}, attempt {fault.attempt})"
+        )
+    if fault.kind == "exit":
+        os._exit(fault.exit_code)
+    if fault.kind == "hang":
+        time.sleep(fault.hang_s)
+
+
 class _FaultingCall:
     """Module-level wrapper so armed faults survive the pickle boundary."""
 
@@ -123,30 +159,11 @@ class _FaultingCall:
         self.fault = fault
 
     def __call__(self, **kwargs: Any) -> Any:
-        from repro.obs import event as obs_event
-
-        fault = self.fault
-        # Worker-side breadcrumb: with tracing on, the streamed trace
-        # shows the fault firing *inside* the worker — even for an
-        # ``exit`` fault that takes the process down right after.
-        obs_event(
-            "fault_fired",
-            fault=fault.kind,
-            task=fault.task,
-            attempt=fault.attempt,
-            rule=fault.rule,
-        )
-        if fault.kind == "raise":
-            raise InjectedFault(
-                f"injected fault (task {fault.task!r}, attempt {fault.attempt})"
-            )
-        if fault.kind == "exit":
-            os._exit(fault.exit_code)
-        if fault.kind == "hang":
-            time.sleep(fault.hang_s)
-            return self.fn(**kwargs)
-        # corrupt: deterministic garbage instead of the real result.
-        return {"__chaos_corrupt__": fault.token}
+        apply_armed_fault(self.fault)
+        if self.fault.kind == "corrupt":
+            # corrupt: deterministic garbage instead of the real result.
+            return {"__chaos_corrupt__": self.fault.token}
+        return self.fn(**kwargs)
 
 
 class FaultPlan:

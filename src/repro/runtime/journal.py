@@ -22,10 +22,36 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
-__all__ = ["JOURNAL_NAME", "RunJournal"]
+__all__ = ["JOURNAL_NAME", "RunJournal", "repair_torn_tail"]
 
 #: File name of the journal inside a run directory.
 JOURNAL_NAME = "journal.jsonl"
+
+
+def repair_torn_tail(path: Union[str, os.PathLike]) -> bool:
+    """Terminate a torn final line so future appends stay on fresh lines.
+
+    A crash mid-append can leave the journal without a trailing newline.
+    Readers already skip the undecodable fragment — but a *writer* that
+    appends after such a tear would glue its record onto the fragment,
+    losing a line that its fsync'd flush reported durable.  Called by
+    every journal writer before its first append; returns whether a
+    repair was needed.
+    """
+    try:
+        with open(path, "rb+") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() == 0:
+                return False
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) == b"\n":
+                return False
+            fh.write(b"\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+            return True
+    except OSError:  # no journal yet: nothing to repair
+        return False
 
 
 class RunJournal:
@@ -34,6 +60,7 @@ class RunJournal:
     def __init__(self, path: Union[str, os.PathLike]) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        repair_torn_tail(self.path)
 
     def _append(self, record: Dict[str, Any]) -> None:
         line = json.dumps(record, sort_keys=True)

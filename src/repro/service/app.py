@@ -12,12 +12,20 @@ Endpoints (see docs/SERVICE.md for payload schemas):
 
 ====================================  =======================================
 ``POST /v1/analyses``                 submit an analysis; 202 + job id
+                                      (429 + ``Retry-After`` when the
+                                      bounded queue is full; 410 when the
+                                      spec is quarantined)
 ``GET /v1/analyses``                  list jobs
 ``GET /v1/analyses/{id}``             poll one job's status
+``DELETE /v1/analyses/{id}``          cancel a queued/running job
+``POST /v1/analyses/{id}/retry``      pardon + re-enqueue a terminal job
 ``GET /v1/analyses/{id}/result``      the result payload (``?format=svg``
                                       for the rendered map)
 ``GET /metrics``                      Prometheus text exposition
 ``GET /healthz``                      liveness + job counts
+``GET /readyz``                       readiness: 200 with queue headroom,
+                                      503 + ``Retry-After`` when saturated
+                                      or draining
 ====================================  =======================================
 
 Failures use the uniform error envelope of :mod:`repro.service.errors`.
@@ -30,7 +38,7 @@ import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs import MetricsRegistry, Tracer, TraceWriter
@@ -38,6 +46,7 @@ from repro.obs import clock as obs_clock
 from repro.runtime.cache import ResultCache
 from repro.runtime.fingerprint import code_fingerprint
 from repro.service.analyses import parse_analysis_request, spec_cache_key
+from repro.service.chaos import ServiceChaos
 from repro.service.errors import ServiceError
 from repro.service.jobs import JobRunner
 from repro.service.store import JobStore
@@ -70,8 +79,11 @@ _PUBLIC_JOB_FIELDS = (
     "started_ts",
     "finished_ts",
     "wall_s",
+    "attempts",
     "cache_hit",
     "recovered",
+    "retried",
+    "drain_requeued",
     "run_dir",
     "error",
     "spec",
@@ -91,8 +103,12 @@ class ServiceApp:
         *,
         cache_dir: Optional[str] = None,
         workers: int = 4,
+        queue_depth: int = 32,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         job_timeout_s: Optional[float] = None,
+        job_retries: int = 2,
+        poison_threshold: int = 2,
+        chaos: Optional[str] = None,
         before_execute=None,
     ) -> None:
         os.makedirs(state_dir, exist_ok=True)
@@ -114,10 +130,14 @@ class ServiceApp:
             cache_dir=self.cache_dir,
             fingerprint=self.fingerprint,
             workers=workers,
+            queue_depth=queue_depth,
             job_timeout_s=job_timeout_s,
+            job_retries=job_retries,
+            poison_threshold=poison_threshold,
+            chaos=ServiceChaos.from_spec(chaos) if chaos else None,
             before_execute=before_execute,
         )
-        self.recovered_jobs = self.runner.recover()
+        self.recovered_jobs, self.poisoned_on_boot = self.runner.recover()
         if self.recovered_jobs:
             self.metrics.inc("analyses_recovered_total", self.recovered_jobs)
 
@@ -151,6 +171,14 @@ class ServiceApp:
                 raise ServiceError("bad_swf", f"malformed SWF upload: {exc}") from exc
         spec = parse_analysis_request(doc, upload_digest=upload_digest)
         key = spec_cache_key(spec, self.cache)
+        count = self.store.poison_count(key)
+        if count >= self.runner.poison_threshold:
+            raise ServiceError(
+                "quarantined",
+                f"this spec crashed its worker {count} times and is "
+                "quarantined; pardon it with POST /v1/analyses/{id}/retry",
+                failures=count,
+            )
         with self._submit_lock:
             existing = self.store.in_flight_for_key(key)
             if existing is not None:
@@ -160,6 +188,9 @@ class ServiceApp:
                     f"an identical analysis is already {existing['status']}",
                     job_id=existing["id"],
                 )
+            # Admission before the journal: an over-capacity POST is shed
+            # with 429 here, leaving no orphaned ``queued`` record behind.
+            self.runner.reserve()
             job_id = obs_clock.new_id()
             # Queue the journal record only: fsync under the submit lock
             # would serialize every request thread behind the disk
@@ -209,8 +240,28 @@ class ServiceApp:
             raise ServiceError(
                 "result_not_ready", f"job {job_id} is {status}", job_id=job_id, status=status
             )
+        if status == "cancelled":
+            raise ServiceError(
+                "job_cancelled", f"job {job_id} was cancelled", job_id=job_id
+            )
+        if status == "poisoned":
+            error = record.get("error") or {}
+            raise ServiceError(
+                "quarantined",
+                error.get("message", "spec quarantined after repeated crashes"),
+                job_id=job_id,
+                job_error=error,
+            )
         if status == "error":
             error = record.get("error") or {}
+            if error.get("code") == "timeout":
+                raise ServiceError(
+                    "timeout",
+                    error.get("message", "job timed out"),
+                    job_id=job_id,
+                    elapsed_s=error.get("elapsed_s"),
+                    limit_s=error.get("limit_s"),
+                )
             raise ServiceError(
                 "job_failed",
                 error.get("message", "job failed"),
@@ -248,24 +299,78 @@ class ServiceApp:
             )
         return svg.encode("utf-8")
 
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /v1/analyses/{id}``: cancel a queued or running job."""
+        return {"job": _public_job(self.runner.cancel(job_id))}
+
+    def retry_job(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/analyses/{id}/retry``: pardon + re-enqueue a terminal job."""
+        if self.draining:
+            raise ServiceError("shutting_down", "server is draining; try again later")
+        record = self.runner.pardon(job_id)
+        return 202, {
+            "job_id": job_id,
+            "status": record.get("status", "queued"),
+            "kind": record.get("kind"),
+            "key": record.get("key"),
+            "links": {
+                "status": f"/v1/analyses/{job_id}",
+                "result": f"/v1/analyses/{job_id}/result",
+            },
+        }
+
     def health(self) -> Dict[str, Any]:
         return {
             "status": "draining" if self.draining else "ok",
             "jobs": self.store.counts(),
             "recovered_jobs": self.recovered_jobs,
+            "poisoned_on_boot": self.poisoned_on_boot,
             "trace_id": self.writer.trace_id,
         }
+
+    def ready(self) -> Dict[str, Any]:
+        """``GET /readyz``: can this server take a submission *right now*?
+
+        Liveness (``/healthz``) answers "is the process up"; readiness
+        answers "should the load balancer route to it" — no while
+        draining, no while the bounded queue has no headroom.
+        """
+        stats = self.runner.queue_stats()
+        if self.draining:
+            raise ServiceError(
+                "not_ready",
+                "server is draining",
+                retry_after=self.runner.retry_after_s,
+                **stats,
+            )
+        if stats["headroom"] <= 0:
+            raise ServiceError(
+                "not_ready",
+                f"all {stats['capacity']} job slots are taken",
+                retry_after=self.runner.retry_after_s,
+                **stats,
+            )
+        return {"status": "ready", **stats}
 
     def prometheus(self) -> str:
         counts = self.store.counts()
         for state, value in counts.items():
             self.metrics.set_gauge(f"jobs_{state}", value)
+        stats = self.runner.queue_stats()
+        self.metrics.set_gauge("queue_active", stats["active"])
+        self.metrics.set_gauge("queue_capacity", stats["capacity"])
+        self.metrics.set_gauge("queue_headroom", stats["headroom"])
         return self.metrics.to_prometheus(prefix="repro_service_")
 
-    def close(self, *, wait: bool = True) -> None:
-        """Drain: refuse new submissions, finish queued/running jobs."""
+    def close(self, *, wait: bool = True, drain_timeout_s: Optional[float] = None) -> List[str]:
+        """Drain: refuse new submissions, finish live jobs within the bound.
+
+        Returns the ids of jobs still pending when *drain_timeout_s*
+        expired (empty on a clean drain); those are requeued in the
+        journal for the next boot.
+        """
         self.draining = True
-        self.runner.drain(wait=wait)
+        return self.runner.drain(wait=wait, timeout_s=drain_timeout_s)
 
 
 # -- the HTTP translation layer ----------------------------------------------
@@ -288,6 +393,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._handle("POST")
 
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._handle("DELETE")
+
     # -- plumbing ------------------------------------------------------------
 
     def _handle(self, method: str) -> None:
@@ -296,6 +404,7 @@ class _Handler(BaseHTTPRequestHandler):
         endpoint = self._endpoint(method, split.path)
         t0 = time.monotonic()
         status = 500
+        headers: Dict[str, str] = {}
         with self.app.tracer.span(
             "http.request", method=method, path=split.path, endpoint=endpoint
         ) as handle:
@@ -305,6 +414,7 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             except ServiceError as err:
                 status, body, content_type = err.status, err.body(), "application/json"
+                headers = err.headers()
             except Exception as exc:  # noqa: BLE001 - uniform 500 envelope
                 err = ServiceError("internal", f"{type(exc).__name__}: {exc}")
                 status, body, content_type = err.status, err.body(), "application/json"
@@ -316,7 +426,7 @@ class _Handler(BaseHTTPRequestHandler):
         if status >= 400:
             metrics.inc(f"http_errors_{endpoint}_total")
         metrics.observe(f"http_request_seconds_{endpoint}", elapsed)
-        self._respond(status, body, content_type)
+        self._respond(status, body, content_type, headers)
 
     @staticmethod
     def _endpoint(method: str, path: str) -> str:
@@ -326,13 +436,17 @@ class _Handler(BaseHTTPRequestHandler):
             if len(parts) == 2:
                 return "analyses_submit" if method == "POST" else "analyses_list"
             if len(parts) == 3:
-                return "analyses_status"
+                return "analyses_cancel" if method == "DELETE" else "analyses_status"
             if len(parts) == 4 and parts[3] == "result":
                 return "analyses_result"
+            if len(parts) == 4 and parts[3] == "retry":
+                return "analyses_retry"
         if path == "/metrics":
             return "metrics"
         if path == "/healthz":
             return "healthz"
+        if path == "/readyz":
+            return "readyz"
         return "other"
 
     def _route(
@@ -352,6 +466,8 @@ class _Handler(BaseHTTPRequestHandler):
                     return 200, app.list_jobs(), "application/json"
                 raise ServiceError("method_not_allowed", f"{method} not allowed here")
             if len(parts) == 3:
+                if method == "DELETE":
+                    return 200, app.cancel_job(parts[2]), "application/json"
                 self._require_get(method)
                 return 200, app.job_status(parts[2]), "application/json"
             if len(parts) == 4 and parts[3] == "result":
@@ -359,6 +475,11 @@ class _Handler(BaseHTTPRequestHandler):
                 if query.get("format") == "svg":
                     return 200, app.job_result_svg(parts[2]), "image/svg+xml"
                 return 200, app.job_result(parts[2]), "application/json"
+            if len(parts) == 4 and parts[3] == "retry":
+                if method != "POST":
+                    raise ServiceError("method_not_allowed", f"{method} not allowed here")
+                status, body = app.retry_job(parts[2])
+                return status, body, "application/json"
             raise ServiceError("not_found", f"no route {path}")
         if path == "/metrics":
             self._require_get(method)
@@ -366,6 +487,9 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/healthz":
             self._require_get(method)
             return 200, app.health(), "application/json"
+        if path == "/readyz":
+            self._require_get(method)
+            return 200, app.ready(), "application/json"
         raise ServiceError("not_found", f"no route {path}")
 
     @staticmethod
@@ -421,7 +545,13 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return self.rfile.read(n)
 
-    def _respond(self, status: int, body: Any, content_type: str) -> None:
+    def _respond(
+        self,
+        status: int,
+        body: Any,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         if isinstance(body, bytes):
             data = body
         elif isinstance(body, str):
@@ -432,6 +562,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             if self.close_connection:
                 self.send_header("Connection", "close")
             self.end_headers()

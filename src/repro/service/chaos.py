@@ -1,0 +1,88 @@
+"""Service-level chaos: seeded fault injection for the job path.
+
+Adapts the runtime's deterministic :class:`~repro.runtime.faults.FaultPlan`
+(PR 3) to the service: a :class:`ServiceChaos` armed with
+``--chaos SEED[:SPEC]`` decides, as a pure function of
+``(seed, rule, job identity, attempt)``, whether a job attempt gets a
+fault — so a failure found under ``--chaos 7`` reproduces under
+``--chaos 7``, across restarts included, because the identity the plan
+hashes is the spec's *cache key*, not the random job id.
+
+How each fault kind lands in the service:
+
+``raise``
+    The worker subprocess raises
+    :class:`~repro.runtime.faults.InjectedFault` before computing —
+    a transient failure, exercising the supervisor's jittered-backoff
+    retry path.
+``exit``
+    The worker calls ``os._exit``: a worker crash.  The supervisor
+    reaps it, charges the spec's poison counter and retries — the
+    canonical poison-circuit-breaker probe (``p=1`` crashes a spec into
+    quarantine).
+``hang``
+    The worker sleeps ``hang_s`` before computing: a straggler.  With
+    ``job_timeout_s`` set, the watchdog SIGKILLs it at the deadline and
+    the job lands in ``error``/``timeout`` (504) — the hard-cancellation
+    probe.
+``corrupt``
+    Supervisor-side: a torn, newline-less junk line is appended to the
+    jobs journal *before* the attempt runs, simulating a crash
+    mid-append.  The attempt itself runs clean; the probe is that
+    journal writers and the next boot's replay shrug the tear off.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping, Optional
+
+from repro.runtime.faults import ArmedFault, FaultPlan, parse_chaos_spec
+
+__all__ = ["ServiceChaos", "job_fault_id", "tear_journal"]
+
+
+def job_fault_id(kind: str, key: str) -> str:
+    """The stable identity chaos decisions hash for one job.
+
+    ``<kind>:<key-prefix>`` — restart-stable (the cache key is), and
+    glob-addressable per analysis kind (``--chaos 7:coplot*=exit``).
+    """
+    return f"{kind}:{key[:12]}"
+
+
+def tear_journal(path: str, token: str) -> None:
+    """Append a torn (newline-less) junk line to *path* — a mid-append crash.
+
+    The fragment is deliberately undecodable JSON; replay must skip it
+    and the next writer must repair the missing newline before its own
+    append (see :func:`repro.runtime.journal.repair_torn_tail`).
+    """
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"type": "job", "id": "%s", "sta' % token)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+class ServiceChaos:
+    """A seeded, replayable schedule of service-job fault injections."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ServiceChaos":
+        """Build from the CLI ``SEED[:SPEC]`` grammar (shared with the
+        runtime's ``--chaos``; see :func:`repro.runtime.faults.parse_chaos_spec`)."""
+        return cls(parse_chaos_spec(spec))
+
+    def arm(self, record: Mapping[str, Any], attempt: int) -> Optional[ArmedFault]:
+        """The fault for this job attempt, or ``None``.
+
+        *record* is the job's store record; the decision hashes its kind
+        and cache key, never the (random, restart-unstable) job id.
+        """
+        return self.plan.arm(job_fault_id(str(record.get("kind")), str(record.get("key"))), attempt)
+
+    def __repr__(self) -> str:
+        return f"ServiceChaos({self.plan!r})"

@@ -8,11 +8,16 @@ job, a malformed SWF upload — travels as one shape::
 with a matching HTTP status.  Codes are part of the API contract
 (documented in docs/SERVICE.md): clients branch on ``code``, never on
 message text, so messages can improve without breaking anyone.
+
+Backpressure responses (``over_capacity``, ``not_ready``,
+``shutting_down``) may carry ``retry_after``: the HTTP layer turns it
+into a ``Retry-After`` header so well-behaved clients pace their
+retries instead of hammering a saturated server.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 __all__ = ["CODES", "ServiceError"]
 
@@ -28,10 +33,15 @@ CODES: Dict[str, int] = {
     "method_not_allowed": 405,
     "already_in_flight": 409,
     "result_not_ready": 409,
+    "not_cancellable": 409,
     "no_svg": 404,
     "result_evicted": 410,
+    "job_cancelled": 410,
+    "quarantined": 410,
+    "over_capacity": 429,
     "job_failed": 500,
-    "timeout": 500,
+    "timeout": 504,
+    "not_ready": 503,
     "shutting_down": 503,
     "internal": 500,
 }
@@ -42,18 +52,36 @@ class ServiceError(Exception):
 
     ``extra`` rides along in the error object (e.g. the existing
     ``job_id`` on an ``already_in_flight`` conflict), so a structured
-    client never has to parse the message.
+    client never has to parse the message.  ``retry_after`` (seconds)
+    additionally becomes a ``Retry-After`` response header.
     """
 
-    def __init__(self, code: str, message: str, **extra: Any) -> None:
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        retry_after: Optional[float] = None,
+        **extra: Any,
+    ) -> None:
         if code not in CODES:
             raise ValueError(f"unknown service error code {code!r}")
         super().__init__(message)
         self.code = code
         self.status = CODES[code]
         self.message = message
+        self.retry_after = retry_after
         self.extra = dict(extra)
 
     def body(self) -> Dict[str, Any]:
         """The JSON-safe response document for this error."""
-        return {"error": {"code": self.code, "message": self.message, **self.extra}}
+        doc = {"error": {"code": self.code, "message": self.message, **self.extra}}
+        if self.retry_after is not None:
+            doc["error"]["retry_after"] = self.retry_after
+        return doc
+
+    def headers(self) -> Dict[str, str]:
+        """Extra response headers this error mandates."""
+        if self.retry_after is None:
+            return {}
+        return {"Retry-After": str(max(1, round(self.retry_after)))}

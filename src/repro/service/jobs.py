@@ -1,39 +1,59 @@
-"""The service's bounded worker pool and per-job orchestration.
+"""The service's job supervisor: bounded admission, hard deadlines.
 
-A :class:`JobRunner` owns a fixed-size thread pool.  Each accepted
-submission becomes one journaled job record (:mod:`repro.service.store`)
-and one pool task; the worker
+A :class:`JobRunner` owns a fixed-size pool of *supervisor threads*.
+Each accepted submission becomes one journaled job record
+(:mod:`repro.service.store`) and one pool task; the supervisor thread
 
-1. marks the job ``running``,
-2. installs a tracer whose parent is the *submitting request's* span —
-   so the trace nests request → job → ``task:...`` → cache phases,
-3. executes the spec through :func:`repro.service.analyses.compute_analysis`
-   (which routes through the runtime cache: repeats are hits),
-4. writes the result into a fresh stamped run directory under
-   ``<state-dir>/runs/`` and atomically repoints ``runs/latest``,
-5. journals the terminal state (``done``/``error``) with the cache key,
-   wall time and hit flag, and bumps the service counters the
-   acceptance tests scrape from ``/metrics``.
+1. marks the job ``running`` and opens the job span (parented to the
+   submitting request's span, so the trace nests request → job →
+   worker spans),
+2. spawns the attempt in a dedicated **worker subprocess**
+   (:mod:`repro.service.worker`) and watches it: every tick it checks
+   the result pipe, the job's cancel flag and the ``job_timeout_s``
+   deadline,
+3. on deadline or client cancellation SIGKILLs the worker and reaps it
+   — timeouts are *hard*: the slot frees immediately, no thread is left
+   wedged behind a hung compute,
+4. retries transient failures (worker crash, injected fault, I/O
+   contention) with jittered exponential backoff, charging worker
+   crashes to the spec's poison counter — a spec that crashes its
+   worker ``poison_threshold`` times (in one process life or across
+   restarts) lands in ``poisoned`` and is quarantined until pardoned,
+5. journals the terminal state (``done``/``error``/``cancelled``/
+   ``poisoned``) with the cache key, wall time and hit flag, writes the
+   run directory, and bumps the service counters the acceptance tests
+   scrape from ``/metrics``.
 
-Timeouts are *soft*: Python threads cannot be killed, so a job whose
-compute outlives ``job_timeout_s`` finishes its work but lands in state
-``error`` with code ``timeout`` (its result is discarded from the job's
-point of view; the cache entry it may have published stays valid).
+Admission is bounded: ``workers + queue_depth`` jobs may be live at
+once, reserved at submit time and released at the terminal state, so an
+overloaded server sheds load with ``429 over_capacity`` (and reports
+headroom on ``/readyz``) instead of queueing without limit.
+
+Concurrency discipline: ``_state`` (a Condition) guards the slot count,
+per-job controls and lifecycle flags and is never held across I/O —
+journal writes, pipe reads and process reaping all happen outside it.
+The store's own two-lock protocol (see :mod:`repro.service.store`)
+covers durability.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
+import random
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.obs import MetricsRegistry, Tracer, TraceWriter, reset_tracer, set_tracer, span
+from repro.obs import MetricsRegistry, Tracer, TraceWriter, event, reset_tracer, set_tracer, span
 from repro.obs import clock as obs_clock
-from repro.service.analyses import AnalysisSpec, compute_analysis
+from repro.runtime.cache import ResultCache
+from repro.service.chaos import ServiceChaos, tear_journal
 from repro.service.errors import ServiceError
-from repro.service.store import JobStore
+from repro.service.store import TERMINAL_STATES, JobStore
+from repro.service.worker import job_worker_main
 from repro.util.atomicio import atomic_symlink, atomic_write_bytes, atomic_write_text
 
 __all__ = ["RUNS_DIR_NAME", "JobRunner"]
@@ -44,9 +64,33 @@ RUNS_DIR_NAME = "runs"
 #: Histogram buckets for job wall time (seconds).
 _JOB_BUCKETS = (0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
 
+#: Seconds the watchdog waits per tick on the worker's result pipe.
+_TICK_S = 0.05
+
+#: Seconds to wait for a killed worker to be reaped before re-killing.
+_REAP_S = 5.0
+
+
+class _JobControl:
+    """Per-job supervision handle shared by API threads and the supervisor.
+
+    ``claimed`` arbitrates ownership of the terminal write: the
+    supervisor claims at pickup; a cancel that arrives first claims
+    instead and writes ``cancelled`` itself.  All fields are guarded by
+    the runner's ``_state`` lock except ``cancel`` (an Event, safe
+    anywhere).
+    """
+
+    __slots__ = ("cancel", "claimed", "proc")
+
+    def __init__(self) -> None:
+        self.cancel = threading.Event()
+        self.claimed = False
+        self.proc: Optional[multiprocessing.process.BaseProcess] = None
+
 
 class JobRunner:
-    """Executes journaled analysis jobs on a bounded thread pool."""
+    """Executes journaled analysis jobs in supervised worker subprocesses."""
 
     def __init__(
         self,
@@ -57,67 +101,282 @@ class JobRunner:
         cache_dir: str,
         fingerprint: str,
         workers: int = 4,
+        queue_depth: int = 32,
         job_timeout_s: Optional[float] = None,
+        job_retries: int = 2,
+        poison_threshold: int = 2,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 8.0,
+        retry_after_s: float = 1.0,
+        chaos: Optional[ServiceChaos] = None,
         before_execute: Optional[Callable[[str], None]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        if job_retries < 0:
+            raise ValueError(f"job_retries must be >= 0, got {job_retries}")
+        if poison_threshold < 1:
+            raise ValueError(f"poison_threshold must be >= 1, got {poison_threshold}")
         self.store = store
         self.metrics = metrics
         self.writer = writer
         self.cache_dir = cache_dir
         self.fingerprint = fingerprint
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.capacity = workers + queue_depth
         self.job_timeout_s = job_timeout_s
-        #: Test/diagnostic seam: runs in the worker before a job starts.
+        self.job_retries = job_retries
+        self.poison_threshold = poison_threshold
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.retry_after_s = retry_after_s
+        self.chaos = chaos
+        #: Test/diagnostic seam: runs in the supervisor before a job starts.
         self.before_execute = before_execute
+        self.cache = ResultCache(cache_dir, fingerprint=fingerprint)
         self.runs_dir = os.path.join(store.state_dir, RUNS_DIR_NAME)
         os.makedirs(self.runs_dir, exist_ok=True)
+        self._state = threading.Condition()
+        self._active = 0
+        self._controls: Dict[str, _JobControl] = {}
         self._closed = False
+        self._abandoned = False
+        self._mp = multiprocessing.get_context()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-service"
         )
 
+    # -- admission -----------------------------------------------------------
+
+    def reserve(self, *, force: bool = False) -> None:
+        """Claim one admission slot or shed the request.
+
+        Called *before* the job is journaled, so an over-capacity POST
+        is refused without leaving a record behind.  ``force`` is the
+        restart-recovery path: journaled jobs are always readmitted,
+        even past capacity — durability outranks backpressure.
+        """
+        with self._state:
+            if self._closed:
+                raise ServiceError(
+                    "shutting_down",
+                    "server is draining; try again later",
+                    retry_after=self.retry_after_s,
+                )
+            if not force and self._active >= self.capacity:
+                self.metrics.inc("analyses_shed_total")
+                raise ServiceError(
+                    "over_capacity",
+                    f"all {self.capacity} job slots are taken; retry shortly",
+                    retry_after=self.retry_after_s,
+                    active=self._active,
+                    capacity=self.capacity,
+                )
+            self._active += 1
+
+    def _release(self, job_id: str) -> None:
+        with self._state:
+            if self._controls.pop(job_id, None) is not None:
+                self._active -= 1
+                self._state.notify_all()
+
+    def queue_stats(self) -> Dict[str, int]:
+        """Occupancy snapshot for ``/readyz`` and the metrics gauges."""
+        with self._state:
+            active = self._active
+        return {
+            "active": active,
+            "capacity": self.capacity,
+            "headroom": max(0, self.capacity - active),
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+        }
+
     # -- lifecycle -----------------------------------------------------------
 
     def submit(self, job_id: str) -> None:
-        """Queue one already-journaled job for execution."""
-        if self._closed:
-            raise ServiceError("shutting_down", "server is draining; try again later")
-        self._pool.submit(self._execute, job_id)
+        """Queue one already-journaled, already-reserved job for execution."""
+        with self._state:
+            if self._closed:
+                # The journal keeps the job; the next boot recovers it.
+                raise ServiceError(
+                    "shutting_down",
+                    "server is draining; try again later",
+                    retry_after=self.retry_after_s,
+                )
+            self._controls[job_id] = _JobControl()
+        self._pool.submit(self._run_job, job_id)
 
-    def recover(self) -> int:
-        """Re-enqueue jobs the journal says never finished (restart path).
+    def recover(self) -> Tuple[int, int]:
+        """Re-enqueue unfinished journaled jobs; quarantine repeat killers.
 
-        A job that was ``queued`` or ``running`` when the previous
-        process died is resubmitted — its spec and upload are durable,
-        and the runtime cache makes any work it had completed free.
-        Returns the number of jobs re-enqueued.
+        A job that was ``queued`` when the previous process died is
+        resubmitted as-is.  One that was ``running`` took the server
+        down with it (or died alongside it) — that counts against its
+        spec's poison counter, and a spec that has now crashed
+        ``poison_threshold`` times is parked in ``poisoned`` instead of
+        being re-enqueued, so one bad upload cannot wedge recovery into
+        a crash loop.  Returns ``(resumed, poisoned)``.
         """
-        resumed = 0
+        resumed = poisoned = 0
         for record in self.store.jobs():
-            if record.get("status") not in ("queued", "running"):
+            status = record.get("status")
+            if status not in ("queued", "running"):
                 continue
+            if status == "running" and record.get("key"):
+                count = self.store.record_key_failure(record["key"])
+                if count >= self.poison_threshold:
+                    self.store.update(
+                        record["id"],
+                        status="poisoned",
+                        finished_ts=round(time.time(), 6),  # repro-lint: disable=REP003 -- journal audit stamp, never in cache identity (REP008-verified)
+                        error={
+                            "code": "quarantined",
+                            "message": f"spec crashed a worker or the server "
+                            f"{count} times; quarantined until pardoned",
+                            "failures": count,
+                        },
+                    )
+                    self.metrics.inc("analyses_poisoned_total")
+                    poisoned += 1
+                    continue
             self.store.update(record["id"], status="queued", recovered=True)
+            self.reserve(force=True)
             self.submit(record["id"])
             resumed += 1
-        return resumed
+        return resumed, poisoned
 
-    def drain(self, *, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) wait for the pool to empty."""
-        self._closed = True
-        self._pool.shutdown(wait=wait)
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Client-initiated cancellation: ``DELETE /v1/analyses/{id}``.
+
+        A queued job is cancelled on the spot (its slot frees
+        immediately); a running one has its worker SIGKILLed and the
+        supervisor writes the ``cancelled`` terminal state within a
+        watchdog tick.  Terminal jobs refuse with ``not_cancellable``.
+        """
+        record = self.store.get(job_id)
+        if record is None:
+            raise ServiceError("not_found", f"no job {job_id}", job_id=job_id)
+        status = record.get("status")
+        if status in TERMINAL_STATES:
+            raise ServiceError(
+                "not_cancellable",
+                f"job {job_id} is already {status}",
+                job_id=job_id,
+                status=status,
+            )
+        finish_now = False
+        kill_proc = None
+        with self._state:
+            control = self._controls.get(job_id)
+            if control is None:
+                # Journaled but not under supervision (e.g. mid-drain):
+                # the terminal write is ours.
+                finish_now = True
+            else:
+                control.cancel.set()
+                if not control.claimed:
+                    control.claimed = True  # supervisor pickup becomes a no-op
+                    finish_now = True
+                else:
+                    kill_proc = control.proc
+        if kill_proc is not None:
+            _kill(kill_proc)
+        if finish_now:
+            record = self.store.update(
+                job_id,
+                status="cancelled",
+                finished_ts=round(time.time(), 6),  # repro-lint: disable=REP003 -- journal audit stamp, never in cache identity (REP008-verified)
+            )
+            self.metrics.inc("analyses_cancelled_total")
+            self._release(job_id)
+            return record
+        return self.store.get(job_id) or record
+
+    def pardon(self, job_id: str) -> Dict[str, Any]:
+        """Pardon and re-enqueue a terminal job: ``POST .../retry``.
+
+        Resets the spec's poison counter (the circuit breaker's manual
+        reset), strips the stale terminal fields and resubmits under
+        normal admission control.
+        """
+        record = self.store.get(job_id)
+        if record is None:
+            raise ServiceError("not_found", f"no job {job_id}", job_id=job_id)
+        status = record.get("status")
+        if status not in TERMINAL_STATES:
+            raise ServiceError(
+                "already_in_flight",
+                f"job {job_id} is still {status}",
+                job_id=job_id,
+            )
+        self.reserve()
+        if record.get("key"):
+            self.store.pardon_key(record["key"])
+        record = self.store.update(
+            job_id,
+            status="queued",
+            retried=True,
+            error=None,
+            wall_s=None,
+            run_dir=None,
+            cache_hit=None,
+            finished_ts=None,
+            started_ts=None,
+        )
+        self.metrics.inc("analyses_retried_total")
+        self.submit(job_id)
+        return record
+
+    def drain(self, *, wait: bool = True, timeout_s: Optional[float] = None) -> List[str]:
+        """Stop accepting work and wait for live jobs, bounded by *timeout_s*.
+
+        Returns the ids of jobs still unfinished when the bound expired.
+        Those jobs' workers are SIGKILLed and their records set back to
+        ``queued`` (``drain_requeued``) — the next boot re-runs them
+        *without* a poison charge, since the interruption was ours, not
+        theirs.
+        """
+        with self._state:
+            self._closed = True
+        if not wait:
+            self._pool.shutdown(wait=False)
+            return []
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._state:
+            while self._active:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    break
+                self._state.wait(timeout=0.2 if remaining is None else min(0.2, remaining))
+            pending = list(self._controls.keys())
+            procs = [c.proc for c in self._controls.values() if c.proc is not None]
+            if pending:
+                self._abandoned = True
+        for proc in procs:
+            _kill(proc)
+        self._pool.shutdown(wait=True)
+        return pending
 
     # -- execution -----------------------------------------------------------
 
-    def _execute(self, job_id: str) -> None:
+    def _run_job(self, job_id: str) -> None:
+        with self._state:
+            control = self._controls.get(job_id)
+            if control is None or control.claimed or self._abandoned:
+                return  # cancelled before pickup, or draining hard
+            control.claimed = True
         record = self.store.get(job_id)
         if record is None:  # pragma: no cover - defensive
+            self._release(job_id)
             return
         if self.before_execute is not None:
             self.before_execute(job_id)
         started = time.time()  # repro-lint: disable=REP003 -- journal audit stamp, never in cache identity (REP008-verified)
         t0 = time.monotonic()
-        self.store.update(job_id, status="running", started_ts=round(started, 6))
         tracer = Tracer(
             self.writer,
             trace_id=self.writer.trace_id,
@@ -125,60 +384,264 @@ class JobRunner:
         )
         token = set_tracer(tracer)
         try:
-            spec = AnalysisSpec(
-                kind=record["kind"],
-                input=record["spec"]["input"],
-                params=record["spec"]["params"],
+            self.store.update(job_id, status="running", started_ts=round(started, 6))
+            with span(f"job:{job_id}", job=job_id, kind=record.get("kind")) as handle:
+                self._supervise(job_id, record, control, handle, t0)
+        except Exception as exc:  # pragma: no cover - supervisor must not die silently
+            self._finish_error(
+                job_id, t0, 1, code="internal", message=f"{type(exc).__name__}: {exc}"
             )
-            with span(f"job:{job_id}", job=job_id, kind=spec.kind) as handle:
-                payload, hit, key = compute_analysis(
-                    spec,
-                    cache_dir=self.cache_dir,
-                    fingerprint=self.fingerprint,
-                    uploads_dir=self.store.uploads_dir,
-                )
-                handle.set(cache_hit=hit)
-            elapsed = time.monotonic() - t0
-            if self.job_timeout_s is not None and elapsed > self.job_timeout_s:
-                raise ServiceError(
-                    "timeout",
-                    f"job exceeded its {self.job_timeout_s:.1f}s limit "
-                    f"({elapsed:.1f}s); result discarded",
-                )
-            run_dir = self._write_run_dir(job_id, spec, payload)
-            self.store.update(
-                job_id,
-                status="done",
-                finished_ts=round(time.time(), 6),  # repro-lint: disable=REP003 -- journal audit stamp, never in cache identity (REP008-verified)
-                wall_s=round(elapsed, 6),
-                cache_hit=hit,
-                key=key,
-                run_dir=run_dir,
-            )
-            self.metrics.inc("analyses_completed_total")
-            self.metrics.inc(
-                "analysis_cache_hits_total" if hit else "analysis_compute_total"
-            )
-            self.metrics.observe("job_seconds", elapsed, buckets=_JOB_BUCKETS)
-        except BaseException as exc:
-            elapsed = time.monotonic() - t0
-            if isinstance(exc, ServiceError):
-                error = {"code": exc.code, "message": exc.message}
-            else:
-                error = {"code": "job_failed", "message": f"{type(exc).__name__}: {exc}"}
-            self.store.update(
-                job_id,
-                status="error",
-                finished_ts=round(time.time(), 6),  # repro-lint: disable=REP003 -- journal audit stamp, never in cache identity (REP008-verified)
-                wall_s=round(elapsed, 6),
-                error=error,
-            )
-            self.metrics.inc("analyses_failed_total")
-            self.metrics.observe("job_seconds", elapsed, buckets=_JOB_BUCKETS)
         finally:
             reset_tracer(token)
+            self._release(job_id)
 
-    def _write_run_dir(self, job_id: str, spec: AnalysisSpec, payload: Dict[str, Any]) -> str:
+    def _supervise(self, job_id: str, record: Dict[str, Any], control: _JobControl, handle, t0: float) -> None:
+        """The attempt loop: spawn, watch, classify, retry or finish."""
+        attempt = 0
+        while True:
+            attempt += 1
+            if control.cancel.is_set():
+                self._finish_cancelled(job_id, t0, attempt)
+                return
+            fault = self.chaos.arm(record, attempt) if self.chaos is not None else None
+            if fault is not None and fault.kind == "corrupt":
+                # Journal chaos is supervisor-side: tear the jobs journal
+                # (a mid-append crash) and run the attempt itself clean.
+                tear_journal(self.store.path, f"chaos-tear-{attempt}")
+                self.metrics.inc("chaos_journal_tears_total")
+                event("chaos_journal_torn", job=job_id, attempt=attempt)
+                fault = None
+            outcome = self._attempt(job_id, record, control, attempt, fault, handle)
+            kind = outcome["kind"]
+            if kind == "done":
+                self._finish_done(job_id, record, t0, attempt, outcome, handle)
+                return
+            if kind == "cancelled":
+                self._finish_cancelled(job_id, t0, attempt)
+                return
+            if kind == "abandoned":
+                # Drain gave up on us: hand the job to the next boot.
+                self.store.update(job_id, status="queued", drain_requeued=True)
+                return
+            if kind == "timeout":
+                self.metrics.inc("job_timeouts_total")
+                self._finish_error(
+                    job_id,
+                    t0,
+                    attempt,
+                    code="timeout",
+                    message=f"job exceeded its {self.job_timeout_s:.1f}s limit; "
+                    "worker killed at the deadline",
+                    elapsed_s=round(outcome["elapsed"], 3),
+                    limit_s=self.job_timeout_s,
+                )
+                return
+            # kind == "failed".  A worker we killed ourselves (cancel or
+            # drain) dies with the pipe open and is indistinguishable
+            # from a crash at the pipe — reclassify before charging the
+            # spec's poison counter for our own kill.
+            if control.cancel.is_set():
+                self._finish_cancelled(job_id, t0, attempt)
+                return
+            if self._abandoned:
+                self.store.update(job_id, status="queued", drain_requeued=True)
+                return
+            if outcome.get("crashed"):
+                self.metrics.inc("worker_crashes_total")
+                if record.get("key"):
+                    count = self.store.record_key_failure(record["key"])
+                    if count >= self.poison_threshold:
+                        self._finish_poisoned(job_id, t0, attempt, count)
+                        return
+            if not outcome.get("transient") or attempt > self.job_retries:
+                self._finish_error(
+                    job_id, t0, attempt, code=outcome["code"], message=outcome["message"]
+                )
+                return
+            delay = self._backoff_delay(job_id, attempt)
+            self.metrics.inc("job_retries_total")
+            event(
+                "job_retry",
+                job=job_id,
+                attempt=attempt,
+                delay_s=round(delay, 4),
+                error=outcome["message"],
+            )
+            if control.cancel.wait(delay):
+                self._finish_cancelled(job_id, t0, attempt)
+                return
+
+    def _attempt(
+        self,
+        job_id: str,
+        record: Dict[str, Any],
+        control: _JobControl,
+        attempt: int,
+        fault,
+        handle,
+    ) -> Dict[str, Any]:
+        """Run one attempt in a worker subprocess under the watchdog."""
+        envelope = {
+            "kind": record["kind"],
+            "spec": record["spec"],
+            "cache_dir": self.cache_dir,
+            "fingerprint": self.fingerprint,
+            "uploads_dir": self.store.uploads_dir,
+            "supervisor_pid": os.getpid(),
+            "trace": {
+                "path": self.writer.path,
+                "trace_id": self.writer.trace_id,
+                "parent_span_id": handle.span_id,
+            },
+        }
+        parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        proc = self._mp.Process(
+            target=job_worker_main,
+            args=(child_conn, envelope, fault),
+            daemon=True,
+            name=f"repro-job-{job_id[:8]}",
+        )
+        started = time.monotonic()
+        deadline = None if self.job_timeout_s is None else started + self.job_timeout_s
+        with self._state:
+            control.proc = proc
+        result = None
+        try:
+            proc.start()
+            child_conn.close()
+            while True:
+                try:
+                    if parent_conn.poll(_TICK_S):
+                        result = parent_conn.recv()
+                        break
+                except (EOFError, OSError):
+                    break  # worker died with the pipe open
+                if control.cancel.is_set():
+                    _kill(proc)
+                    return {"kind": "cancelled"}
+                if self._abandoned:
+                    _kill(proc)
+                    return {"kind": "abandoned"}
+                now = time.monotonic()
+                if deadline is not None and now > deadline:
+                    # The hard deadline: SIGKILL, reap (in finally), and
+                    # free the slot for the next job.
+                    _kill(proc)
+                    event(
+                        "job_timeout_kill",
+                        job=job_id,
+                        attempt=attempt,
+                        timeout_s=self.job_timeout_s,
+                    )
+                    return {"kind": "timeout", "elapsed": now - started}
+                if not proc.is_alive():
+                    # Dead without a pipe message in this tick: drain any
+                    # message it managed to send on the way down.
+                    try:
+                        if parent_conn.poll(0):
+                            result = parent_conn.recv()
+                    except (EOFError, OSError):
+                        pass
+                    break
+        finally:
+            exitcode = _reap(proc)
+            with self._state:
+                control.proc = None
+            parent_conn.close()
+        if result is None:
+            return {
+                "kind": "failed",
+                "transient": True,
+                "crashed": True,
+                "code": "job_failed",
+                "message": f"worker process died (exit code {exitcode})",
+            }
+        if result.get("ok"):
+            return {
+                "kind": "done",
+                "hit": bool(result.get("hit")),
+                "key": result.get("key"),
+                "elapsed": time.monotonic() - started,
+            }
+        return {
+            "kind": "failed",
+            "transient": bool(result.get("transient")),
+            "crashed": False,
+            "code": result.get("code", "job_failed"),
+            "message": result.get("message", "job failed"),
+        }
+
+    # -- terminal transitions ------------------------------------------------
+
+    def _finish_done(self, job_id, record, t0, attempt, outcome, handle) -> None:
+        elapsed = time.monotonic() - t0
+        hit, key = outcome["hit"], outcome["key"]
+        handle.set(cache_hit=hit)
+        payload = self.cache.get(key) if key else None
+        run_dir = (
+            self._write_run_dir(job_id, record, payload) if payload is not None else None
+        )
+        self.store.update(
+            job_id,
+            status="done",
+            finished_ts=round(time.time(), 6),  # repro-lint: disable=REP003 -- journal audit stamp, never in cache identity (REP008-verified)
+            wall_s=round(elapsed, 6),
+            attempts=attempt,
+            cache_hit=hit,
+            key=key,
+            run_dir=run_dir,
+        )
+        self.metrics.inc("analyses_completed_total")
+        self.metrics.inc("analysis_cache_hits_total" if hit else "analysis_compute_total")
+        self.metrics.observe("job_seconds", elapsed, buckets=_JOB_BUCKETS)
+
+    def _finish_error(self, job_id, t0, attempt, *, code, message, **extra) -> None:
+        elapsed = time.monotonic() - t0
+        self.store.update(
+            job_id,
+            status="error",
+            finished_ts=round(time.time(), 6),  # repro-lint: disable=REP003 -- journal audit stamp, never in cache identity (REP008-verified)
+            wall_s=round(elapsed, 6),
+            attempts=attempt,
+            error={"code": code, "message": message, **extra},
+        )
+        self.metrics.inc("analyses_failed_total")
+        self.metrics.observe("job_seconds", elapsed, buckets=_JOB_BUCKETS)
+
+    def _finish_cancelled(self, job_id, t0, attempt) -> None:
+        elapsed = time.monotonic() - t0
+        self.store.update(
+            job_id,
+            status="cancelled",
+            finished_ts=round(time.time(), 6),  # repro-lint: disable=REP003 -- journal audit stamp, never in cache identity (REP008-verified)
+            wall_s=round(elapsed, 6),
+            attempts=attempt,
+        )
+        self.metrics.inc("analyses_cancelled_total")
+
+    def _finish_poisoned(self, job_id, t0, attempt, count) -> None:
+        elapsed = time.monotonic() - t0
+        self.store.update(
+            job_id,
+            status="poisoned",
+            finished_ts=round(time.time(), 6),  # repro-lint: disable=REP003 -- journal audit stamp, never in cache identity (REP008-verified)
+            wall_s=round(elapsed, 6),
+            attempts=attempt,
+            error={
+                "code": "quarantined",
+                "message": f"spec crashed its worker {count} times; "
+                "quarantined until pardoned via POST .../retry",
+                "failures": count,
+            },
+        )
+        self.metrics.inc("analyses_poisoned_total")
+
+    def _backoff_delay(self, job_id: str, attempt: int) -> float:
+        """Exponential backoff with deterministic per-(job, attempt) jitter."""
+        base = min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
+        return base * random.Random(f"{job_id}:{attempt}").uniform(0.5, 1.5)
+
+    def _write_run_dir(self, job_id: str, record: Dict[str, Any], payload: Dict[str, Any]) -> str:
         """Persist one job's outputs into a fresh stamped run directory.
 
         Mirrors the CLI runner's ``--out`` layout: a wall-clock stamped
@@ -205,7 +668,7 @@ class JobRunner:
             atomic_write_text(os.path.join(run_dir, "result.csv"), artifacts["csv"])
         atomic_write_text(
             os.path.join(run_dir, "spec.json"),
-            json.dumps(spec.canonical(), sort_keys=True, indent=2) + "\n",
+            json.dumps(record["spec"], sort_keys=True, indent=2) + "\n",
         )
         try:
             atomic_symlink(
@@ -218,3 +681,31 @@ class JobRunner:
                 os.path.join(self.runs_dir, "LATEST"), os.path.basename(run_dir) + "\n"
             )
         return run_dir
+
+
+def _kill(proc) -> None:
+    """SIGKILL a worker; safe on processes that never started or died."""
+    try:
+        proc.kill()
+    except (ValueError, AttributeError, OSError):  # pragma: no cover - already gone
+        pass
+
+
+def _reap(proc) -> Optional[int]:
+    """Join (and if necessary re-kill) a worker so no zombie outlives us.
+
+    Returns the exit code, read *before* ``close()`` makes the process
+    object unusable.
+    """
+    if proc.pid is None:
+        return None  # never started
+    try:
+        proc.join(timeout=_REAP_S)
+        if proc.is_alive():  # pragma: no cover - kill raced the join
+            proc.kill()
+            proc.join(timeout=_REAP_S)
+        exitcode = proc.exitcode
+        proc.close()
+        return exitcode
+    except (ValueError, OSError):  # pragma: no cover - already reaped
+        return None

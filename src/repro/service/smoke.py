@@ -155,10 +155,16 @@ def run_smoke(base: str, *, timeout_s: float = 120.0) -> List[str]:
         f"malformed SWF -> 400 bad_swf (got {status} {err.get('code')})",
     )
 
-    # 5. health + metrics shape
+    # 5. health, readiness + metrics shape
     status, body, _ = _request(f"{base}/healthz")
     health = json.loads(body)
     check(status == 200 and health.get("status") == "ok", "healthz reports ok")
+    status, body, _ = _request(f"{base}/readyz")
+    ready = json.loads(body)
+    check(
+        status == 200 and ready.get("status") == "ready" and ready.get("headroom", 0) > 0,
+        "readyz reports ready with queue headroom",
+    )
     check("repro_service_http_requests_total" in after_text, "metrics expose HTTP counters")
     return failures
 

@@ -9,6 +9,13 @@ job was doing.  Results themselves are *not* stored here: a finished
 job records the runtime-cache key its payload was published under, so
 result reads after a restart are cache reads.
 
+Beyond job records the journal carries ``poison`` records — per-cache-key
+crash counters feeding the poison-spec circuit breaker
+(:mod:`repro.service.jobs`).  A worker that dies computing key *K*
+journals ``{"type": "poison", "key": K, "count": n}``; counts are
+last-wins like job records, so quarantine decisions survive restarts
+and a pardon (count reset to 0) is just another append.
+
 Uploads are spooled content-addressed into ``<state-dir>/uploads/`` as
 ``<sha256>.swf`` (decompressed bytes), which both deduplicates repeated
 uploads of the same log and lets a re-enqueued job find its input after
@@ -36,9 +43,16 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.runtime.journal import repair_torn_tail
 from repro.util.atomicio import atomic_write_bytes
 
-__all__ = ["JOBS_JOURNAL_NAME", "JobStore", "UPLOADS_DIR_NAME"]
+__all__ = [
+    "JOBS_JOURNAL_NAME",
+    "JOB_STATES",
+    "JobStore",
+    "TERMINAL_STATES",
+    "UPLOADS_DIR_NAME",
+]
 
 #: Journal file name inside the service state directory.
 JOBS_JOURNAL_NAME = "jobs.jsonl"
@@ -47,7 +61,10 @@ JOBS_JOURNAL_NAME = "jobs.jsonl"
 UPLOADS_DIR_NAME = "uploads"
 
 #: Job lifecycle states.
-JOB_STATES = ("queued", "running", "done", "error")
+JOB_STATES = ("queued", "running", "done", "error", "cancelled", "poisoned")
+
+#: States a job never leaves on its own (``retry`` can pardon them).
+TERMINAL_STATES = ("done", "error", "cancelled", "poisoned")
 
 
 class JobStore:
@@ -63,6 +80,11 @@ class JobStore:
         self._jobs: Dict[str, Dict[str, Any]] = {}
         self._order: List[str] = []
         self._pending: List[str] = []
+        self._poison: Dict[str, int] = {}
+        # A crash mid-append may have left a torn, newline-less tail;
+        # terminate it before this process appends anything, or the
+        # first new record would glue onto the fragment and be lost.
+        repair_torn_tail(self.path)
         self._load()
 
     # -- journal replay ------------------------------------------------------
@@ -81,7 +103,14 @@ class JobStore:
                 record = json.loads(line)
             except ValueError:  # torn tail from a crash mid-append
                 continue
-            if not isinstance(record, dict) or record.get("type") != "job":
+            if not isinstance(record, dict):
+                continue
+            if record.get("type") == "poison":
+                key, count = record.get("key"), record.get("count")
+                if isinstance(key, str) and isinstance(count, int):
+                    self._poison[key] = count
+                continue
+            if record.get("type") != "job":
                 continue
             job_id = record.get("id")
             if not isinstance(job_id, str):
@@ -118,13 +147,14 @@ class JobStore:
 
         The record is *not* durable until the next :meth:`flush`; use
         this when the caller holds its own lock and must not block on
-        I/O inside it.
+        I/O inside it.  ``None``-valued fields are dropped (an absent
+        field and a null field read identically).
         """
         record = {
             "id": job_id,
             "status": "queued",
             "created_ts": round(time.time(), 6),  # repro-lint: disable=REP003 -- audit stamp, never in cache identity (REP008-verified)
-            **fields,
+            **{k: v for k, v in fields.items() if v is not None},
         }
         with self._lock:
             if job_id in self._jobs:
@@ -141,16 +171,48 @@ class JobStore:
         return record
 
     def update(self, job_id: str, **fields: Any) -> Dict[str, Any]:
-        """Merge *fields* into a job's record and journal the new state."""
+        """Merge *fields* into a job's record and journal the new state.
+
+        Setting a field to ``None`` removes it — a retried job sheds its
+        stale ``error``/``wall_s`` instead of republishing them.
+        """
         with self._lock:
             current = self._jobs.get(job_id)
             if current is None:
                 raise KeyError(f"unknown job {job_id}")
             merged = {**current, **fields}
+            merged = {k: v for k, v in merged.items() if v is not None}
             self._jobs[job_id] = merged
             self._queue(merged)
         self.flush()
         return dict(merged)
+
+    # -- poison circuit breaker ---------------------------------------------
+
+    def record_key_failure(self, key: str) -> int:
+        """Bump *key*'s crash counter; returns the new (journaled) count."""
+        with self._lock:
+            count = self._poison.get(key, 0) + 1
+            self._poison[key] = count
+            self._pending.append(
+                json.dumps({"type": "poison", "key": key, "count": count}, sort_keys=True)
+                + "\n"
+            )
+        self.flush()
+        return count
+
+    def pardon_key(self, key: str) -> None:
+        """Reset *key*'s crash counter to zero (the ``retry`` pardon)."""
+        with self._lock:
+            self._poison[key] = 0
+            self._pending.append(
+                json.dumps({"type": "poison", "key": key, "count": 0}, sort_keys=True) + "\n"
+            )
+        self.flush()
+
+    def poison_count(self, key: str) -> int:
+        with self._lock:
+            return self._poison.get(key, 0)
 
     # -- reads ---------------------------------------------------------------
 

@@ -73,7 +73,7 @@ def poll_done(http):
             status, body, _ = http(f"{base}/v1/analyses/{job_id}")
             assert status == 200, body
             job = body["job"]
-            if job["status"] in ("done", "error"):
+            if job["status"] in ("done", "error", "cancelled", "poisoned"):
                 return job
             assert time.monotonic() < deadline, f"job stuck {job['status']}"
             time.sleep(0.05)

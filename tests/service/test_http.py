@@ -197,7 +197,14 @@ class TestIntrospection:
         status, body, _ = http(f"{svc['base']}/healthz")
         assert status == 200
         assert body["status"] == "ok"
-        assert body["jobs"] == {"queued": 0, "running": 0, "done": 0, "error": 0}
+        assert body["jobs"] == {
+            "queued": 0,
+            "running": 0,
+            "done": 0,
+            "error": 0,
+            "cancelled": 0,
+            "poisoned": 0,
+        }
 
     def test_list_jobs(self, service_factory, http, poll_done, cheap_doc):
         svc = service_factory(workers=1)

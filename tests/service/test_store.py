@@ -47,7 +47,14 @@ class TestLifecycle:
         store.create("j1")
         store.create("j2")
         store.update("j2", status="done")
-        assert store.counts() == {"queued": 1, "running": 0, "done": 1, "error": 0}
+        assert store.counts() == {
+            "queued": 1,
+            "running": 0,
+            "done": 1,
+            "error": 0,
+            "cancelled": 0,
+            "poisoned": 0,
+        }
 
     def test_in_flight_for_key(self, tmp_path):
         store = JobStore(str(tmp_path))
