@@ -70,7 +70,8 @@ obs-bench:
 
 # Kernel speedup gate: times the vectorized kernels against their
 # *_reference implementations, writes BENCH_perf.json, and fails when
-# the >=5x SWF-ingest or >=3x SMACOF floor is missed.
+# any gated floor is missed (>=5x SWF ingest, >=3x SMACOF, >=10x Lublin
+# generation, >=3x bootstrap stability, >=2x FCFS simulation).
 perf-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_kernels.py
 

@@ -2,13 +2,19 @@
 
 Times each rewritten hot kernel against its retained ``*_reference``
 implementation on fixed synthetic inputs and writes the verdict to
-``BENCH_perf.json``.  Two kernels carry hard floors (the tentpole claims
-of the vectorization PR):
+``BENCH_perf.json``.  Five kernels carry hard floors (the tentpole claims
+of the two vectorization PRs):
 
 * SWF ingest (``read_swf`` vs ``read_swf_reference``) on an
   archive-shaped 120k-job log — must be **>= 5x** faster;
 * SMACOF at ``n_init=8`` (``engine="batched"`` vs ``"reference"``) —
-  must be **>= 3x** faster.
+  must be **>= 3x** faster;
+* Lublin generation at 1M jobs (``engine="batched"`` vs
+  ``"reference"``) — must be **>= 10x** faster;
+* bootstrap stability at ``n_boot=20`` on a paper-shaped matrix
+  (``engine="batched"`` vs ``"reference"``) — must be **>= 3x** faster;
+* the FCFS simulator loop at 100k jobs (``simulate`` vs
+  ``simulate_reference``) — must be **>= 2x** faster.
 
 The windowed R/S kernel and the bulk SWF renderer are recorded
 informationally (their speedups are real but size-dependent, so they
@@ -37,11 +43,21 @@ OUT_PATH = os.path.join(
 )
 
 #: Hard speedup floors, asserted here and in benchmarks/test_bench_kernels.py.
-TARGETS = {"swf_ingest": 5.0, "smacof_n_init8": 3.0}
+TARGETS = {
+    "swf_ingest": 5.0,
+    "smacof_n_init8": 3.0,
+    "lublin_generate": 10.0,
+    "bootstrap_stability": 3.0,
+    "simulate_fcfs": 2.0,
+}
 
 SWF_JOBS = 120_000
 SMACOF_POINTS = 30
 RS_SERIES = 4_000
+LUBLIN_JOBS = 1_000_000
+BOOT_SHAPE = (14, 40)  # observations x variables, the paper's regime
+BOOT_N = 20
+SIM_JOBS = 100_000
 
 
 def synthetic_workload(n: int = SWF_JOBS, seed: int = 7):
@@ -150,6 +166,64 @@ def measure_render(n_jobs: int = SWF_JOBS, *, reps: int = 3) -> Dict[str, float]
     )
 
 
+def measure_lublin(n_jobs: int = LUBLIN_JOBS, *, reps: int = 3) -> Dict[str, float]:
+    from repro.models import LublinModel
+
+    model = LublinModel()
+    return _measure_pair(
+        lambda: model.generate(n_jobs, seed=11, engine="batched"),
+        lambda: model.generate(n_jobs, seed=11, engine="reference"),
+        reps,
+    )
+
+
+def measure_bootstrap(
+    n_boot: int = BOOT_N, shape=BOOT_SHAPE, *, reps: int = 3
+) -> Dict[str, float]:
+    from repro.coplot.extend import bootstrap_stability
+
+    rng = np.random.default_rng(7)
+    y = rng.normal(size=shape) + np.linspace(0, 3, shape[1])
+    return _measure_pair(
+        lambda: bootstrap_stability(y, n_boot=n_boot, seed=0, engine="batched"),
+        lambda: bootstrap_stability(y, n_boot=n_boot, seed=0, engine="reference"),
+        reps,
+    )
+
+
+def simulator_workload(n: int = SIM_JOBS, seed: int = 0, *, machine_procs: int = 512,
+                       load: float = 0.94, mean_rt: float = 400.0):
+    """A near-saturation FCFS stream: queues stay long enough that the
+    reference loop's per-event queue rebuild costs dominate."""
+    from repro.workload import MachineInfo, Workload
+
+    rng = np.random.default_rng(seed)
+    run_time = rng.exponential(mean_rt, n)
+    procs = 2 ** rng.integers(0, 6, n)
+    rate = load * machine_procs / (mean_rt * procs.mean())
+    submit = np.cumsum(rng.exponential(1.0 / rate, n))
+    machine = MachineInfo(name="sim-bench", processors=machine_procs)
+    return Workload.from_arrays(
+        machine=machine,
+        name="sim-bench",
+        job_id=np.arange(1, n + 1),
+        submit_time=submit,
+        run_time=run_time,
+        used_procs=procs.astype(np.int64),
+    )
+
+
+def measure_simulate_fcfs(n_jobs: int = SIM_JOBS, *, reps: int = 3) -> Dict[str, float]:
+    from repro.scheduler import FcfsScheduler, UnlimitedAllocator, simulate, simulate_reference
+
+    workload = simulator_workload(n_jobs)
+    return _measure_pair(
+        lambda: simulate(workload, FcfsScheduler(), UnlimitedAllocator()),
+        lambda: simulate_reference(workload, FcfsScheduler(), UnlimitedAllocator()),
+        reps,
+    )
+
+
 def main(argv=None) -> int:
     sys.path.insert(
         0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
@@ -166,6 +240,9 @@ def main(argv=None) -> int:
             "smacof_n_init8": measure_smacof(12, reps=1),
             "rs_pox": measure_rs_pox(500, reps=1),
             "swf_render": measure_render(5_000, reps=1),
+            "lublin_generate": measure_lublin(20_000, reps=1),
+            "bootstrap_stability": measure_bootstrap(4, (10, 12), reps=1),
+            "simulate_fcfs": measure_simulate_fcfs(5_000, reps=1),
         }
     else:
         results = {
@@ -173,6 +250,9 @@ def main(argv=None) -> int:
             "smacof_n_init8": measure_smacof(),
             "rs_pox": measure_rs_pox(),
             "swf_render": measure_render(),
+            "lublin_generate": measure_lublin(),
+            "bootstrap_stability": measure_bootstrap(),
+            "simulate_fcfs": measure_simulate_fcfs(),
         }
 
     failed = []
@@ -195,6 +275,9 @@ def main(argv=None) -> int:
             "suite": "vectorized-kernels",
             "jobs": SWF_JOBS,
             "smacof_points": SMACOF_POINTS,
+            "lublin_jobs": LUBLIN_JOBS,
+            "bootstrap": {"n_boot": BOOT_N, "shape": list(BOOT_SHAPE)},
+            "sim_jobs": SIM_JOBS,
             "targets": TARGETS,
             "results": results,
             "ok": not failed,

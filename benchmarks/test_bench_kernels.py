@@ -2,9 +2,12 @@
 
 Two layers: pytest-benchmark timings of the fast kernels themselves
 (tracked across runs like every other bench module), and the gated
-speedup assertions — the ≥5× SWF-ingest and ≥3× SMACOF floors the
-vectorization PR claims, measured against the retained ``*_reference``
-implementations exactly as ``make perf-bench`` measures them.
+speedup assertions — the ≥5× SWF-ingest, ≥3× SMACOF, ≥10× Lublin
+generation, ≥3× bootstrap-stability, and ≥2× FCFS-simulation floors,
+measured against the retained ``*_reference`` implementations exactly
+as ``make perf-bench`` measures them (the traffic-scale kernels at
+reduced sizes so the suite stays fast; ``make perf-bench`` runs the
+full 1M-job / 100k-job workloads).
 """
 
 import numpy as np
@@ -12,9 +15,13 @@ import pytest
 
 from perf_kernels import (
     TARGETS,
+    measure_bootstrap,
+    measure_lublin,
     measure_rs_pox,
+    measure_simulate_fcfs,
     measure_smacof,
     measure_swf_ingest,
+    simulator_workload,
     synthetic_workload,
 )
 
@@ -35,6 +42,18 @@ class TestKernelSpeedupFloors:
         # below the reference loop.
         stats = measure_rs_pox(reps=5)
         assert stats["speedup"] >= 1.5, stats
+
+    def test_lublin_generate_speedup_floor(self):
+        stats = measure_lublin(300_000, reps=1)
+        assert stats["speedup"] >= TARGETS["lublin_generate"], stats
+
+    def test_bootstrap_stability_speedup_floor(self):
+        stats = measure_bootstrap(10, (14, 40), reps=1)
+        assert stats["speedup"] >= TARGETS["bootstrap_stability"], stats
+
+    def test_simulate_fcfs_speedup_floor(self):
+        stats = measure_simulate_fcfs(60_000, reps=1)
+        assert stats["speedup"] >= TARGETS["simulate_fcfs"], stats
 
 
 class TestKernelBench:
@@ -67,3 +86,29 @@ class TestKernelBench:
         x = np.cumsum(np.random.default_rng(3).standard_normal(4_000))
         log_ns, log_rs = benchmark(lambda: rs_pox_points(x))
         assert log_ns.size == log_rs.size > 0
+
+    def test_bench_lublin_batched(self, benchmark):
+        from repro.models import LublinModel
+
+        model = LublinModel()
+        w = benchmark(lambda: model.generate(50_000, seed=11, engine="batched"))
+        assert len(w) == 50_000
+
+    def test_bench_bootstrap_batched(self, benchmark):
+        from repro.coplot.extend import bootstrap_stability
+
+        rng = np.random.default_rng(7)
+        y = rng.normal(size=(14, 40)) + np.linspace(0, 3, 40)
+        result = benchmark(
+            lambda: bootstrap_stability(y, n_boot=5, seed=0, engine="batched")
+        )
+        assert result.positional_spread.shape == (14,)
+
+    def test_bench_simulate_fcfs_fast(self, benchmark):
+        from repro.scheduler import FcfsScheduler, UnlimitedAllocator, simulate
+
+        w = simulator_workload(20_000)
+        result = benchmark(
+            lambda: simulate(w, FcfsScheduler(), UnlimitedAllocator())
+        )
+        assert result.submit.size > 0

@@ -40,7 +40,11 @@ from repro.coplot.arrows import Arrow, fit_arrows, fit_arrow, angle_between, arr
 from repro.coplot.model import Coplot, CoplotResult
 from repro.coplot.selection import eliminate_variables, best_subset, SubsetScore
 from repro.coplot.render import render_ascii_map, coplot_to_csv, coplot_to_svg, coplot_to_svg_bytes
-from repro.coplot.procrustes import procrustes_align, procrustes_disparity
+from repro.coplot.procrustes import (
+    procrustes_align,
+    procrustes_align_batch,
+    procrustes_disparity,
+)
 from repro.coplot.extend import project_observation, bootstrap_stability, StabilityReport
 
 __all__ = [
@@ -74,6 +78,7 @@ __all__ = [
     "coplot_to_svg",
     "coplot_to_svg_bytes",
     "procrustes_align",
+    "procrustes_align_batch",
     "procrustes_disparity",
     "project_observation",
     "bootstrap_stability",

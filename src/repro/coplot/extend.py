@@ -19,14 +19,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize
 
-from repro.coplot.dissimilarity import city_block
+from repro.coplot.dissimilarity import pairwise_dissimilarity
+from repro.coplot.mds.alienation import coefficient_of_alienation
+from repro.coplot.mds.base import upper_triangle
+from repro.coplot.mds.classical import classical_mds
+from repro.coplot.mds.smacof import _run_batch
 from repro.coplot.model import Coplot, CoplotResult
-from repro.coplot.procrustes import procrustes_align, procrustes_disparity
+from repro.coplot.normalize import normalize_matrix
+from repro.coplot.procrustes import (
+    procrustes_align,
+    procrustes_align_batch,
+    procrustes_disparity,
+)
 from repro.obs.spans import span as obs_span
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import check_2d
 
 __all__ = ["project_observation", "bootstrap_stability", "StabilityReport"]
+
+_BOOT_ENGINES = ("batched", "reference")
 
 
 def _column_norms(y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -35,6 +46,22 @@ def _column_norms(y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     stds = np.nanstd(y, axis=0)
     stds = np.where(stds == 0, 1.0, stds)
     return means, stds
+
+
+def _dissim_to_rows(z_new: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """NaN-aware city-block distances from one vector to every row of *z*.
+
+    One broadcast evaluation of
+    :func:`~repro.coplot.dissimilarity.city_block` against each existing
+    observation: masked cells contribute nothing and each row's sum is
+    rescaled by ``p / p_present`` exactly as the scalar metric does.
+    """
+    present = ~(np.isnan(z_new)[None, :] | np.isnan(z))
+    counts = present.sum(axis=1)
+    if np.any(counts == 0):
+        raise ValueError("observations share no present variables")
+    diffs = np.where(present, np.abs(z - z_new[None, :]), 0.0)
+    return diffs.sum(axis=1) * (z.shape[1] / counts)
 
 
 def project_observation(
@@ -74,7 +101,7 @@ def project_observation(
         )
     means, stds = _column_norms(result.y)
     z_new = (values - means) / stds
-    dissim = np.array([city_block(z_new, z_row) for z_row in result.z])
+    dissim = _dissim_to_rows(z_new, result.z)
 
     coords = result.coords
 
@@ -122,6 +149,61 @@ class StabilityReport:
         return [self.labels[i] for i in order[:k]]
 
 
+def _replicate_coords_batched(
+    mat: np.ndarray, cols_per_boot: np.ndarray, cp: Coplot
+) -> np.ndarray:
+    """Best-restart map coordinates for every bootstrap replicate.
+
+    All replicates' MDS restarts advance in lockstep through one
+    per-row-dissimilarity :func:`~repro.coplot.mds.smacof._run_batch`
+    call instead of ``n_boot`` separate :meth:`Coplot.fit` runs; arrow
+    fitting (which stability never reads) is skipped entirely.  Start
+    configurations reproduce :func:`~repro.coplot.mds.smacof.smacof`
+    draw for draw, so each replicate's map is the one the reference
+    engine computes.
+    """
+    n = mat.shape[0]
+    n_boot = cols_per_boot.shape[0]
+    coords = np.zeros((n_boot, n, cp.dim))
+
+    sv_rows = []
+    starts = []
+    live = []
+    for b in range(n_boot):
+        z_b = normalize_matrix(mat[:, cols_per_boot[b]], ddof=cp.ddof)
+        s_b = pairwise_dissimilarity(z_b, metric=cp.metric)
+        sv_b = upper_triangle(s_b)
+        if np.all(sv_b == 0):
+            # Degenerate replicate: smacof would pin everything at the
+            # origin without iterating; its zero coords are already set.
+            continue
+        live.append(b)
+        sv_rows.append(sv_b)
+        starts.append(classical_mds(s_b, dim=cp.dim))
+        rng_b = as_generator(cp.seed)
+        scale = float(sv_b.mean())
+        for _ in range(cp.n_init - 1):
+            starts.append(rng_b.normal(scale=scale, size=(n, cp.dim)))
+    if not live:
+        return coords
+
+    sv_stack = np.repeat(np.stack(sv_rows), cp.n_init, axis=0)
+    all_coords, _, _, _ = _run_batch(
+        sv_stack, n, np.stack(starts), cp.transform, cp.max_iter, cp.tol
+    )
+    for j, b in enumerate(live):
+        best = None
+        best_key = np.inf
+        for r in range(cp.n_init):
+            row = all_coords[j * cp.n_init + r]
+            theta = coefficient_of_alienation(sv_rows[j], row)
+            if theta < best_key:
+                best_key = theta
+                best = row
+        coords[b] = best
+    return coords
+
+
 def bootstrap_stability(
     y,
     *,
@@ -130,12 +212,23 @@ def bootstrap_stability(
     n_boot: int = 20,
     coplot: Optional[Coplot] = None,
     seed: SeedLike = 0,
+    engine: str = "batched",
 ) -> StabilityReport:
     """Bootstrap the map over variables.
 
     Each replicate resamples the variable columns with replacement, refits
     Co-plot, aligns the replicate map onto the full-data map by Procrustes,
     and records every observation's displacement.
+
+    Parameters
+    ----------
+    engine:
+        ``"batched"`` (default) embeds every replicate's restarts in one
+        lockstep SMACOF batch and aligns all replicate maps in one
+        vectorized Procrustes pass; ``"reference"`` refits replicates one
+        at a time through :meth:`Coplot.fit` and is kept as the
+        equivalence oracle.  Both see identical column resamples and
+        produce the same report.
 
     Returns
     -------
@@ -148,6 +241,8 @@ def bootstrap_stability(
     n, p = mat.shape
     if n_boot < 2:
         raise ValueError(f"n_boot must be >= 2, got {n_boot}")
+    if engine not in _BOOT_ENGINES:
+        raise ValueError(f"engine must be one of {_BOOT_ENGINES}, got {engine!r}")
     cp = coplot if coplot is not None else Coplot(n_init=2)
     if signs is None:
         signs = [f"v{j}" for j in range(p)]
@@ -161,15 +256,44 @@ def bootstrap_stability(
     rng = as_generator(seed)
     displacements = np.zeros((n_boot, n))
     disparities = []
-    with obs_span("bootstrap.stability", n_boot=n_boot, n=n, p=p):
-        for b in range(n_boot):
-            cols = rng.integers(0, p, size=p)
-            # Resampled columns may repeat: suffix signs to keep them unique.
-            boot_signs = [f"{signs[j]}~{k}" for k, j in enumerate(cols)]
-            replicate = cp.fit(mat[:, cols], labels=labels, signs=boot_signs)
-            aligned = procrustes_align(ref_coords, replicate.coords)
-            displacements[b] = np.linalg.norm(aligned - ref_coords, axis=1) / ref_scale
-            disparities.append(procrustes_disparity(ref_coords, replicate.coords))
+    with obs_span("bootstrap.stability", n_boot=n_boot, n=n, p=p, engine=engine):
+        if engine == "batched":
+            # The column resamples are pre-drawn in the same rng order the
+            # reference engine consumes them (Coplot.fit never touches
+            # this generator), so both engines see identical replicates.
+            cols_per_boot = np.stack(
+                [rng.integers(0, p, size=p) for _ in range(n_boot)]
+            )
+            boot_coords = _replicate_coords_batched(mat, cols_per_boot, cp)
+            aligned = procrustes_align_batch(ref_coords, boot_coords)
+            displacements = (
+                np.linalg.norm(aligned - ref_coords[None, :, :], axis=2)
+                / ref_scale
+            )
+            a_c = ref_coords - ref_coords.mean(axis=0)
+            norm = float(np.sum(a_c**2))
+            for b in range(n_boot):
+                if norm == 0:
+                    disparities.append(0.0)
+                    continue
+                resid = float(
+                    np.sum((a_c - (aligned[b] - ref_coords.mean(axis=0))) ** 2)
+                )
+                disparities.append(min(max(resid / norm, 0.0), 1.0))
+        else:
+            for b in range(n_boot):
+                cols = rng.integers(0, p, size=p)
+                # Resampled columns may repeat: suffix signs to keep them
+                # unique.
+                boot_signs = [f"{signs[j]}~{k}" for k, j in enumerate(cols)]
+                replicate = cp.fit(mat[:, cols], labels=labels, signs=boot_signs)
+                aligned_one = procrustes_align(ref_coords, replicate.coords)
+                displacements[b] = (
+                    np.linalg.norm(aligned_one - ref_coords, axis=1) / ref_scale
+                )
+                disparities.append(
+                    procrustes_disparity(ref_coords, replicate.coords)
+                )
 
     return StabilityReport(
         labels=list(reference.labels),

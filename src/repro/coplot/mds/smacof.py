@@ -137,60 +137,83 @@ def _run_single(
 
 
 def _batched_pairwise(coords: np.ndarray) -> np.ndarray:
-    """(k, n, dim) configurations -> (k, n, n) Euclidean distances."""
-    diff = coords[:, :, None, :] - coords[:, None, :, :]
-    return np.sqrt((diff**2).sum(axis=3))
+    """(k, n, dim) configurations -> (k, n, n) Euclidean distances.
+
+    Accumulates squared differences one coordinate axis at a time: the
+    same left-to-right summation a reduction over a short last axis
+    performs, without materializing the (k, n, n, dim) temporary.
+    """
+    sq = None
+    for a in range(coords.shape[2]):
+        diff = coords[:, :, None, a] - coords[:, None, :, a]
+        diff *= diff
+        if sq is None:
+            sq = diff
+        else:
+            sq += diff
+    return np.sqrt(sq)
 
 
 class _OrderKeys:
     """Loop-invariant keys for the batched per-row lexsort.
 
-    The row labels, tiled dissimilarities and row offsets only depend on
-    the batch shape, which shrinks as restarts converge; caching them per
-    size keeps the per-iteration cost to the lexsort itself.
+    The row labels and row offsets only depend on the batch shape, which
+    shrinks as restarts converge; caching them per size keeps the
+    per-iteration cost to the lexsort itself.
     """
 
-    def __init__(self, sv: np.ndarray):
-        self._sv = sv
+    def __init__(self, m: int):
+        self._m = m
         self._by_size: dict = {}
 
     def get(self, k: int) -> tuple:
         keys = self._by_size.get(k)
         if keys is None:
-            m = self._sv.shape[0]
-            rows = np.repeat(np.arange(k), m)
-            tiled = np.tile(self._sv, k)
-            offsets = (np.arange(k) * m)[:, None]
-            keys = (rows, tiled, offsets)
+            rows = np.repeat(np.arange(k), self._m)
+            offsets = (np.arange(k) * self._m)[:, None]
+            keys = (rows, offsets)
             self._by_size[k] = keys
         return keys
 
 
-def _batched_orders(dv: np.ndarray, keys: _OrderKeys) -> np.ndarray:
-    """Per-row ``lexsort((dv[j], sv))`` permutations, in one lexsort.
+def _batched_orders(
+    sv_rows: np.ndarray, dv: np.ndarray, keys: _OrderKeys
+) -> np.ndarray:
+    """Per-row ``lexsort((dv[j], sv_rows[j]))`` permutations, in one lexsort.
 
     A single stable three-key sort (row, then sv, then dv) yields every
     restart's dissimilarity order at once; within a row the permutation is
-    identical to the per-row call because lexsort is stable.
+    identical to the per-row call because lexsort is stable.  *sv_rows* is
+    (k, m): a broadcast view when every restart shares the dissimilarities,
+    or distinct rows when each restart embeds its own (bootstrap batches).
     """
     k, m = dv.shape
-    rows, tiled, offsets = keys.get(k)
-    order = np.lexsort((dv.ravel(), tiled, rows))
+    rows, offsets = keys.get(k)
+    order = np.lexsort((dv.ravel(), np.ascontiguousarray(sv_rows).ravel(), rows))
     return order.reshape(k, m) - offsets
 
 
 def _batched_disparities(
-    sv: np.ndarray, dv: np.ndarray, transform: str, keys: _OrderKeys
+    sv_rows: np.ndarray,
+    dv: np.ndarray,
+    transform: str,
+    keys: _OrderKeys,
+    orders: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Disparities for a (k, m) batch of distance vectors."""
+    """Disparities for a (k, m) batch of distance vectors.
+
+    *sv_rows* carries one dissimilarity vector per batch row (possibly a
+    broadcast of a single shared vector).  *orders* short-circuits the
+    per-iteration lexsort when the caller knows the dissimilarity order is
+    iteration-invariant (tie-free rows: the distance key only breaks ties).
+    """
     if transform == "metric":
-        denom = float(np.sum(sv * sv))
-        if denom > 0:
-            scale = np.sum(sv[None, :] * dv, axis=1) / denom
-        else:
-            scale = np.ones(dv.shape[0])
-        return sv[None, :] * scale[:, None]
-    orders = _batched_orders(dv, keys)
+        denom = np.sum(sv_rows * sv_rows, axis=1)
+        safe = np.where(denom > 0, denom, 1.0)
+        scale = np.where(denom > 0, np.sum(sv_rows * dv, axis=1) / safe, 1.0)
+        return sv_rows * scale[:, None]
+    if orders is None:
+        orders = _batched_orders(sv_rows, dv, keys)
     out = np.empty_like(dv)
     if transform == "isotonic":
         fits = _pava_rows(np.take_along_axis(dv, orders, axis=1))
@@ -256,23 +279,43 @@ def _run_batch(
 ) -> tuple:
     """All restarts in lockstep; returns per-restart (coords, stress,
     n_iter, converged) arrays matching what :func:`_run_single` would
-    produce for each start independently."""
+    produce for each start independently.
+
+    *sv* is either one shared dissimilarity vector (m,) — the multi-restart
+    case — or per-restart vectors (k, m), which lets callers batch restarts
+    of *different* embedding problems (bootstrap replicates) in one run.
+    """
     k = starts.shape[0]
-    m = sv.shape[0]
+    per_row_sv = sv.ndim == 2
+    m = sv.shape[-1]
     coords = starts.copy()
     stress_prev = np.full(k, math.inf)
     n_iter = np.zeros(k, dtype=np.int64)
     converged = np.zeros(k, dtype=bool)
     active = np.ones(k, dtype=bool)
     iu = _triu(n)
-    keys = _OrderKeys(sv)
+    keys = _OrderKeys(m)
+    # Tie-free dissimilarities admit an iteration-invariant sort order (the
+    # distance key of the lexsort only disambiguates tied sv entries), so
+    # the per-iteration lexsort collapses to one upfront argsort.
+    sv_sorted = np.sort(sv, axis=-1)
+    ties = bool((sv_sorted[..., 1:] == sv_sorted[..., :-1]).any())
+    static_orders: Optional[np.ndarray] = None
+    if not ties and transform != "metric":
+        static_orders = np.argsort(sv, axis=-1, kind="stable")
+        if not per_row_sv:
+            static_orders = static_orders[None, :]
     for it in range(1, max_iter + 1):
         idx = np.flatnonzero(active)
         if idx.size == 0:
             break
         d = _batched_pairwise(coords[idx])
         dv = d[:, iu[0], iu[1]]
-        dhat = _batched_disparities(sv, dv, transform, keys)
+        sv_rows = sv[idx] if per_row_sv else np.broadcast_to(sv, dv.shape)
+        orders = None
+        if static_orders is not None:
+            orders = static_orders[idx] if per_row_sv else static_orders
+        dhat = _batched_disparities(sv_rows, dv, transform, keys, orders)
         norm = np.sum(dhat * dhat, axis=1)
         n_iter[idx] = it
         # Restarts whose disparities collapsed stop exactly like the

@@ -21,7 +21,8 @@ published descriptions:
   daily-cycle arrival process (Lublin, 1999).
 """
 
-from repro.models.base import WorkloadModel
+from repro.models.arrivals import ClosedLoopArrivals, OpenLoopArrivals
+from repro.models.base import MODEL_ENGINES, WorkloadModel
 from repro.models.feitelson96 import Feitelson96Model
 from repro.models.feitelson97 import Feitelson97Model
 from repro.models.downey import DowneyModel
@@ -40,6 +41,9 @@ from repro.models.validation import (
 
 __all__ = [
     "WorkloadModel",
+    "MODEL_ENGINES",
+    "OpenLoopArrivals",
+    "ClosedLoopArrivals",
     "Feitelson96Model",
     "Feitelson97Model",
     "DowneyModel",

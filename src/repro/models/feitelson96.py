@@ -125,7 +125,43 @@ class Feitelson96Model(WorkloadModel):
         return rng.exponential(means)
 
     # -- generation --------------------------------------------------------
+    def _draw_blocks(self, n_jobs: int, rng: np.random.Generator) -> dict:
+        """Draw distinct-job attributes in bulk until they cover *n_jobs*.
+
+        Block sizes are a deterministic function of the remaining deficit
+        and the mean repetition count, so both engines consume the RNG
+        identically; the concatenated per-distinct-job arrays (gap, size,
+        repeat count, runtime, user) are what each engine assembles from.
+        """
+        mean_rep = max(float(np.sum(self.repeats.values * self.repeats.probs)), 1.0)
+        gaps, sizes, reps, runtimes, users = [], [], [], [], []
+        total = 0
+        while total < n_jobs:
+            m = max(16, int((n_jobs - total) / mean_rep * 1.1) + 1)
+            gaps.append(rng.exponential(self.mean_interarrival, m))
+            block_sizes = self.sizes.sample(m, rng)
+            sizes.append(block_sizes)
+            block_reps = self.repeats.sample(m, rng).astype(np.int64)
+            reps.append(block_reps)
+            runtimes.append(self._draw_runtime(block_sizes, rng))
+            users.append(rng.integers(self.n_users, size=m))
+            total += int(block_reps.sum())
+        return {
+            "gaps": np.concatenate(gaps),
+            "sizes": np.concatenate(sizes),
+            "reps": np.concatenate(reps),
+            "runtimes": np.concatenate(runtimes),
+            "users": np.concatenate(users),
+        }
+
     def _generate_arrays(self, n_jobs: int, rng: np.random.Generator) -> dict:
+        b = self._draw_blocks(n_jobs, rng)
+        gaps = b["gaps"].tolist()
+        all_sizes = b["sizes"]
+        all_reps = b["reps"].tolist()
+        all_runtimes = b["runtimes"].tolist()
+        all_users = b["users"]
+
         submit = np.empty(n_jobs)
         run_time = np.empty(n_jobs)
         procs = np.empty(n_jobs, dtype=np.int64)
@@ -136,21 +172,20 @@ class Feitelson96Model(WorkloadModel):
         distinct = 0
         clock = 0.0
         while filled < n_jobs:
-            clock += rng.exponential(self.mean_interarrival)
-            size = int(self.sizes.sample(1, rng)[0])
-            n_rep = int(self.repeats.sample(1, rng)[0])
-            runtime = float(self._draw_runtime(np.array([size], dtype=float), rng)[0])
-            user = int(rng.integers(self.n_users))
+            clock = clock + gaps[distinct]
+            size = int(all_sizes[distinct])
+            runtime = all_runtimes[distinct]
+            user = int(all_users[distinct])
+            n_rep = all_reps[distinct]
             distinct += 1
-            when = clock
-            for _ in range(min(n_rep, n_jobs - filled)):
-                submit[filled] = when
+            for k in range(min(n_rep, n_jobs - filled)):
+                # Pure model: each repetition is resubmitted as soon as the
+                # previous run ends, i.e. k full runtimes after the first.
+                submit[filled] = clock + k * runtime
                 run_time[filled] = runtime
                 procs[filled] = size
                 users[filled] = user
                 execs[filled] = distinct
-                # Pure model: resubmitted as soon as the previous run ends.
-                when += runtime
                 filled += 1
         return {
             "submit_time": submit,
@@ -158,5 +193,28 @@ class Feitelson96Model(WorkloadModel):
             "used_procs": procs,
             "user_id": users,
             "executable_id": execs,
+            "wait_time": np.zeros(n_jobs),
+        }
+
+    def _generate_arrays_batched(self, n_jobs: int, rng: np.random.Generator) -> dict:
+        b = self._draw_blocks(n_jobs, rng)
+        cum = np.cumsum(b["reps"])
+        # Number of distinct jobs needed to cover the stream; the last one's
+        # repetitions are truncated at the n_jobs boundary.
+        n_distinct = int(np.searchsorted(cum, n_jobs, side="left")) + 1
+        whens = np.cumsum(b["gaps"][:n_distinct])
+        reps_used = b["reps"][:n_distinct].copy()
+        reps_used[-1] -= int(cum[n_distinct - 1]) - n_jobs
+
+        idx = np.repeat(np.arange(n_distinct), reps_used)
+        starts = np.concatenate(([0], np.cumsum(reps_used)[:-1]))
+        k = np.arange(n_jobs) - np.repeat(starts, reps_used)
+        runtimes = b["runtimes"][:n_distinct]
+        return {
+            "submit_time": whens[idx] + k * runtimes[idx],
+            "run_time": runtimes[idx],
+            "used_procs": b["sizes"][:n_distinct].astype(np.int64)[idx],
+            "user_id": b["users"][:n_distinct][idx],
+            "executable_id": idx + 1,
             "wait_time": np.zeros(n_jobs),
         }

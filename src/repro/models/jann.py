@@ -179,26 +179,61 @@ class JannModel(WorkloadModel):
         ctc = synthesize_workload("CTC", seed=seed)
         return cls.fit(ctc)
 
-    def _generate_arrays(self, n_jobs: int, rng: np.random.Generator) -> dict:
-        # Each size range runs its own renewal arrival process (the paper's
-        # per-range inter-arrival fits); the streams are then merged.  The
-        # per-range job counts follow the fitted range probabilities.
+    def _draw_blocks(self, n_jobs: int, rng: np.random.Generator) -> list:
+        """Per-range draw blocks shared by both engines.
+
+        Each size range runs its own renewal arrival process (the paper's
+        per-range inter-arrival fits); the streams are then merged.  The
+        per-range job counts follow the fitted range probabilities.
+        """
         counts = rng.multinomial(n_jobs, self._range_probs)
-        submit = np.empty(n_jobs)
-        procs = np.empty(n_jobs, dtype=np.int64)
-        run_time = np.empty(n_jobs)
-        offset = 0
+        blocks = []
         for params, cnt in zip(self.ranges, counts):
             if cnt == 0:
                 continue
-            sl = slice(offset, offset + cnt)
-            procs[sl] = params.sizes.sample(cnt, rng).astype(np.int64)
-            run_time[sl] = params.runtime.sample(cnt, rng)
+            sizes = params.sizes.sample(cnt, rng)
+            runtimes = params.runtime.sample(cnt, rng)
             arrival_dist = (
                 params.interarrival if params.interarrival is not None else self.interarrival
             )
             gaps = arrival_dist.sample(cnt, rng)
-            submit[sl] = np.cumsum(gaps) - gaps[0] if cnt else gaps
+            blocks.append((int(cnt), sizes, runtimes, gaps))
+        return blocks
+
+    def _generate_arrays(self, n_jobs: int, rng: np.random.Generator) -> dict:
+        machine = self.machine_procs
+        submit = np.empty(n_jobs)
+        procs = np.empty(n_jobs, dtype=np.int64)
+        run_time = np.empty(n_jobs)
+        offset = 0
+        for cnt, sizes, runtimes, gap_arr in self._draw_blocks(n_jobs, rng):
+            gaps = gap_arr.tolist()
+            first = gaps[0]
+            acc = 0.0
+            for j in range(cnt):
+                # Renewal process anchored at the range's first arrival.
+                acc = acc + gaps[j]
+                submit[offset + j] = acc - first
+                procs[offset + j] = min(max(int(sizes[j]), 1), machine)
+                run_time[offset + j] = runtimes[j]
+            offset += cnt
+        return {
+            "submit_time": submit,
+            "run_time": run_time,
+            "used_procs": procs,
+            "wait_time": np.zeros(n_jobs),
+        }
+
+    def _generate_arrays_batched(self, n_jobs: int, rng: np.random.Generator) -> dict:
+        submit = np.empty(n_jobs)
+        procs = np.empty(n_jobs, dtype=np.int64)
+        run_time = np.empty(n_jobs)
+        offset = 0
+        for cnt, sizes, runtimes, gaps in self._draw_blocks(n_jobs, rng):
+            sl = slice(offset, offset + cnt)
+            procs[sl] = sizes.astype(np.int64)
+            run_time[sl] = runtimes
+            submit[sl] = np.cumsum(gaps) - gaps[0]
             offset += cnt
         return {
             "submit_time": submit,

@@ -18,6 +18,27 @@ The numeric constants are calibrated so the model's eight Figure 4
 variables land at the centre of gravity of the production workloads —
 which is the model's documented position — rather than copied from the
 thesis tables, which are not available offline (DESIGN.md §4.3).
+
+Both engines consume one shared draw schedule (:meth:`_draw_blocks`) and
+then assemble the stream either with array operations (``"batched"``) or
+a per-job scalar loop (``"reference"``).  The assembly is restricted to
+operations that are bitwise identical between the scalar and vectorized
+paths (plain arithmetic, ``math.sin``/``math.cos``, banker's rounding,
+and size-1 ufunc calls for ``2**x``/``log2``), so the two engines agree
+to the last ulp — asserted per seed in the equivalence tests.
+
+The daily cycle is applied by inverting the cumulative intensity
+
+    ``Lambda(t) = t + A sin(omega t - theta) + A sin(theta)``
+
+(``omega`` = 2*pi/day, ``theta`` the peak phase, ``A`` = amplitude/omega)
+at the unit-rate arrival times ``u = cumsum(gaps)``: the i-th arrival is
+``t_i = Lambda^-1(u_i)``, so rush hours pack arrivals and nights spread
+them with the exact configured intensity rather than the forward-Euler
+approximation the scalar loop used previously.  The inverse is computed
+by a fixed, amplitude-derived number of contraction + Newton steps — no
+data-dependent early exit, which is what keeps the two engines in
+lockstep.
 """
 
 from __future__ import annotations
@@ -31,6 +52,9 @@ from repro.stats.distributions import Gamma
 from repro.util.validation import check_positive, check_probability
 
 __all__ = ["LublinModel"]
+
+#: Radians per second of the 24 h cycle.
+_OMEGA = 2.0 * math.pi / 86400.0
 
 
 class LublinModel(WorkloadModel):
@@ -103,75 +127,195 @@ class LublinModel(WorkloadModel):
             raise ValueError(f"n_users must be >= 1, got {n_users}")
         self.n_users = int(n_users)
 
-    # -- job sizes ---------------------------------------------------------
-    def _draw_sizes(self, n: int, rng: np.random.Generator) -> np.ndarray:
-        sizes = np.ones(n)
-        if self.machine_procs < 2:
-            return sizes.astype(np.int64)
-        parallel = rng.random(n) >= self.serial_prob
-        n_par = int(parallel.sum())
-        if n_par:
-            ulow = 1.0  # log2 of the smallest parallel size (2 procs)
-            uhi = math.log2(self.machine_procs)
-            umed = max(ulow + 0.5, uhi - self.size_knee_offset)
-            low = rng.random(n_par) < self.size_low_prob
-            u = np.where(
-                low,
-                rng.uniform(ulow, min(umed, uhi), size=n_par),
-                rng.uniform(min(umed, uhi), uhi, size=n_par),
-            )
-            snap = rng.random(n_par) < self.pow2_prob
-            log2_sizes = np.where(snap, np.round(u), u)
-            sizes[parallel] = np.round(2.0**log2_sizes)
-        return np.clip(sizes, 1, self.machine_procs).astype(np.int64)
+    # -- shared draw schedule ------------------------------------------------
+    def _draw_blocks(self, n: int, rng: np.random.Generator) -> dict:
+        """Every random draw both engines consume, in one fixed order.
 
-    # -- runtimes -----------------------------------------------------------
-    def _draw_runtimes(self, sizes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        Also computes the derived size/short-mask arrays the batched path
+        assembles from; the reference loop re-derives them per job from
+        the raw uniforms, so any divergence shows up as a block-pointer
+        mismatch in the equivalence tests.
+        """
+        b: dict = {}
+        sizes = np.ones(n)
+        if self.machine_procs >= 2:
+            b["par_u"] = rng.random(n)
+            parallel = b["par_u"] >= self.serial_prob
+            n_par = int(parallel.sum())
+            b["parallel"] = parallel
+            if n_par:
+                ulow = 1.0  # log2 of the smallest parallel size (2 procs)
+                uhi = math.log2(self.machine_procs)
+                umed = max(ulow + 0.5, uhi - self.size_knee_offset)
+                b["low_u"] = rng.random(n_par)
+                b["u_low"] = rng.uniform(ulow, min(umed, uhi), size=n_par)
+                b["u_high"] = rng.uniform(min(umed, uhi), uhi, size=n_par)
+                b["snap_u"] = rng.random(n_par)
+                low = b["low_u"] < self.size_low_prob
+                u = np.where(low, b["u_low"], b["u_high"])
+                snap = b["snap_u"] < self.pow2_prob
+                log2_sizes = np.where(snap, np.round(u), u)
+                sizes[parallel] = np.round(2.0**log2_sizes)
+        b["sizes"] = np.clip(sizes, 1, self.machine_procs).astype(np.int64)
+
         denom = max(math.log2(self.machine_procs), 1.0)
         p_short = np.clip(
-            self.p_short_base + self.p_short_slope * np.log2(sizes) / denom,
+            self.p_short_base + self.p_short_slope * np.log2(b["sizes"]) / denom,
             0.05,
             0.95,
         )
-        short = rng.random(sizes.shape[0]) < p_short
-        out = np.empty(sizes.shape[0])
+        b["short_u"] = rng.random(n)
+        short = b["short_u"] < p_short
         n_short = int(short.sum())
-        if n_short:
-            out[short] = self.gamma_short.sample(n_short, rng)
-        if n_short < sizes.shape[0]:
-            out[~short] = self.gamma_long.sample(sizes.shape[0] - n_short, rng)
-        return out
-
-    # -- arrivals ------------------------------------------------------------
-    def _cycle_weight(self, t: float) -> float:
-        hour = (t / 3600.0) % 24.0
-        return 1.0 + self.cycle_amplitude * math.cos(
-            2.0 * math.pi * (hour - self.cycle_peak_hour) / 24.0
+        b["short"] = short
+        b["gamma_short"] = (
+            self.gamma_short.sample(n_short, rng) if n_short else np.empty(0)
+        )
+        b["gamma_long"] = (
+            self.gamma_long.sample(n - n_short, rng) if n - n_short else np.empty(0)
         )
 
-    def _draw_arrivals(self, n: int, rng: np.random.Generator) -> np.ndarray:
         shape = self.interarrival_shape
         # Solve the gamma scale so the *median* gap equals the target.
         unit_median = float(Gamma(shape, 1.0).ppf(0.5))
         scale = self.median_interarrival / unit_median
-        gaps = rng.gamma(shape, scale, size=n)
-        submit = np.empty(n)
-        clock = 0.0
+        b["gaps"] = rng.gamma(shape, scale, size=n)
+        b["users"] = rng.integers(self.n_users, size=n)
+        return b
+
+    # -- arrivals ------------------------------------------------------------
+    def _cycle_weight(self, t: float) -> float:
+        """Instantaneous intensity multiplier Lambda'(t) at time t."""
+        theta = 2.0 * math.pi * self.cycle_peak_hour / 24.0
+        return 1.0 + self.cycle_amplitude * math.cos(_OMEGA * t - theta)
+
+    def _cycle_plan(self) -> tuple:
+        """Deterministic inversion schedule ``(theta, A, C, n_fp, n_newton)``.
+
+        The fixed-point map ``t <- u - (A sin(omega t - theta) + C)`` is a
+        contraction with factor ``a``; we iterate until the worst-case
+        error (2A at the start) falls inside Newton's quadratic basin
+        ``(1-a)/(a omega)``, then run eight Newton steps — enough to reach
+        a fixed point at double precision for any amplitude in [0, 1).
+        """
+        a = self.cycle_amplitude
+        theta = 2.0 * math.pi * self.cycle_peak_hour / 24.0
+        amp = a / _OMEGA
+        offset = amp * math.sin(theta)
+        if a == 0.0:  # repro-lint: disable=REP005 -- exact zero is the configured no-cycle sentinel
+            return theta, amp, offset, 0, 0
+        basin = (1.0 - a) / (a * _OMEGA)
+        err = 2.0 * amp
+        n_fp = 0
+        while err > basin and n_fp < 512:
+            err *= a
+            n_fp += 1
+        return theta, amp, offset, n_fp, 8
+
+    def _invert_cycle_batched(self, u: np.ndarray) -> np.ndarray:
+        theta, amp, offset, n_fp, n_newton = self._cycle_plan()
+        a = self.cycle_amplitude
+        t = u.copy()
+        for _ in range(n_fp):
+            t = u - (amp * np.sin(_OMEGA * t - theta) + offset)
+        for _ in range(n_newton):
+            f = t + (amp * np.sin(_OMEGA * t - theta) + offset) - u
+            w = 1.0 + a * np.cos(_OMEGA * t - theta)
+            t = t - f / w
+        return t
+
+    # -- reference (scalar) assembly ----------------------------------------
+    def _sizes_reference(self, n: int, b: dict) -> np.ndarray:
+        sizes = np.empty(n, dtype=np.int64)
+        if self.machine_procs < 2:
+            sizes.fill(1)
+            return sizes
+        machine = float(self.machine_procs)
+        par_u = b["par_u"].tolist()
+        low_u = b["low_u"].tolist() if "low_u" in b else []
+        u_low = b["u_low"].tolist() if "u_low" in b else []
+        u_high = b["u_high"].tolist() if "u_high" in b else []
+        snap_u = b["snap_u"].tolist() if "snap_u" in b else []
+        arr1 = np.empty(1)
+        k = 0
         for i in range(n):
-            # Stretch the gap by the inverse intensity at the current time
-            # of day: rush hours pack arrivals, nights spread them.
-            clock += gaps[i] / self._cycle_weight(clock)
-            submit[i] = clock
+            if par_u[i] < self.serial_prob:
+                sizes[i] = 1
+                continue
+            u = u_low[k] if low_u[k] < self.size_low_prob else u_high[k]
+            lg = float(round(u)) if snap_u[k] < self.pow2_prob else u
+            k += 1
+            # Size-1 ufunc call: bitwise identical to the vectorized 2**x.
+            arr1[0] = lg
+            size = float(np.round(2.0**arr1)[0])
+            sizes[i] = int(min(max(size, 1.0), machine))
+        return sizes
+
+    def _runtimes_reference(self, n: int, b: dict, sizes: np.ndarray) -> np.ndarray:
+        out = np.empty(n)
+        gamma_short = b["gamma_short"]
+        gamma_long = b["gamma_long"]
+        short_u = b["short_u"].tolist()
+        denom = max(math.log2(self.machine_procs), 1.0)
+        base = self.p_short_base
+        slope = self.p_short_slope
+        arr1 = np.empty(1)
+        si = li = 0
+        for i in range(n):
+            arr1[0] = sizes[i]
+            log2_size = float(np.log2(arr1)[0])
+            p_short = min(max(base + slope * log2_size / denom, 0.05), 0.95)
+            if short_u[i] < p_short:
+                out[i] = gamma_short[si]
+                si += 1
+            else:
+                out[i] = gamma_long[li]
+                li += 1
+        return out
+
+    def _arrivals_reference(self, n: int, b: dict) -> np.ndarray:
+        theta, amp, offset, n_fp, n_newton = self._cycle_plan()
+        a = self.cycle_amplitude
+        gaps = b["gaps"].tolist()
+        submit = np.empty(n)
+        acc = 0.0
+        for i in range(n):
+            acc = acc + gaps[i]
+            t = acc
+            for _ in range(n_fp):
+                t = acc - (amp * math.sin(_OMEGA * t - theta) + offset)
+            for _ in range(n_newton):
+                f = t + (amp * math.sin(_OMEGA * t - theta) + offset) - acc
+                w = 1.0 + a * math.cos(_OMEGA * t - theta)
+                t = t - f / w
+            submit[i] = t
         return submit - submit[0]
 
     def _generate_arrays(self, n_jobs: int, rng: np.random.Generator) -> dict:
-        sizes = self._draw_sizes(n_jobs, rng)
-        run_time = self._draw_runtimes(sizes, rng)
-        submit = self._draw_arrivals(n_jobs, rng)
+        b = self._draw_blocks(n_jobs, rng)
+        sizes = self._sizes_reference(n_jobs, b)
+        run_time = self._runtimes_reference(n_jobs, b, sizes)
+        submit = self._arrivals_reference(n_jobs, b)
         return {
             "submit_time": submit,
             "run_time": run_time,
             "used_procs": sizes,
-            "user_id": rng.integers(self.n_users, size=n_jobs),
+            "user_id": b["users"],
+            "wait_time": np.zeros(n_jobs),
+        }
+
+    # -- batched assembly ----------------------------------------------------
+    def _generate_arrays_batched(self, n_jobs: int, rng: np.random.Generator) -> dict:
+        b = self._draw_blocks(n_jobs, rng)
+        short = b["short"]
+        run_time = np.empty(n_jobs)
+        run_time[short] = b["gamma_short"]
+        run_time[~short] = b["gamma_long"]
+        t = self._invert_cycle_batched(np.cumsum(b["gaps"]))
+        return {
+            "submit_time": t - t[0],
+            "run_time": run_time,
+            "used_procs": b["sizes"],
+            "user_id": b["users"],
             "wait_time": np.zeros(n_jobs),
         }

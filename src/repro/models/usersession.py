@@ -19,6 +19,17 @@ exhibit self-similarity to some degree."  This model realises both ideas:
   light-tailed sessions the same machinery produces an ordinary
   short-range-dependent stream, so the model doubles as a demonstration
   of *why* the paper found production logs self-similar.
+
+Generation is structured for the two-engine contract: every user owns an
+independent child RNG stream (:func:`repro.util.rng.spawn_children`), and
+a shared driver (:meth:`_materialize_users`) grows each user's timeline
+in session chunks until the first *n_jobs* events of the superposition
+are fully materialized (each user is capped at *n_jobs* own jobs, which
+both bounds heavy-tailed session draws and guarantees termination).  The
+engines then differ only in assembly: the reference rebuilds each user's
+timeline with a scalar accumulation loop and merges the users through a
+heap, while the batched engine uses per-user ``cumsum`` timelines and one
+global ``lexsort`` — bit-for-bit identical results.
 """
 
 from __future__ import annotations
@@ -26,13 +37,14 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from repro.models.base import WorkloadModel
-from repro.stats.distributions import Discrete, LogNormal
-from repro.util.validation import check_positive, check_probability
+from repro.stats.distributions import LogNormal
+from repro.util.rng import spawn_children
+from repro.util.validation import check_positive
 
 __all__ = ["UserProfile", "UserSessionModel"]
 
@@ -109,82 +121,247 @@ class UserSessionModel(WorkloadModel):
 
     # -- user population ---------------------------------------------------
     def _make_profiles(self, rng: np.random.Generator) -> List[UserProfile]:
-        profiles = []
         max_log2 = math.log2(self.machine_procs) if self.machine_procs > 1 else 0.0
-        for uid in range(self.n_users):
-            log2_size = np.clip(
-                rng.normal(max_log2 / 3.0, self.size_spread), 0.0, max_log2
+        log2_sizes = np.clip(
+            rng.normal(max_log2 / 3.0, self.size_spread, self.n_users), 0.0, max_log2
+        )
+        scales = rng.lognormal(0.0, 0.6, self.n_users)
+        return [
+            UserProfile(
+                user_id=uid,
+                runtime_scale=float(scales[uid]),
+                size=int(round(2.0 ** float(log2_sizes[uid]))),
+                executable_id=uid,  # one dominant code per user
             )
-            profiles.append(
-                UserProfile(
-                    user_id=uid,
-                    runtime_scale=float(rng.lognormal(0.0, 0.6)),
-                    size=int(round(2.0 ** float(log2_size))),
-                    executable_id=uid,  # one dominant code per user
-                )
-            )
-        return profiles
+            for uid in range(self.n_users)
+        ]
 
-    def _session_length(self, rng: np.random.Generator) -> int:
-        """Pareto-distributed number of jobs in a session (minimum 1),
-        scaled so the mean matches ``mean_session_jobs``."""
+    def _session_lengths(self, u: np.ndarray) -> np.ndarray:
+        """Pareto-distributed session lengths in jobs (minimum 1), scaled so
+        the mean matches ``mean_session_jobs``."""
         alpha = self.session_tail
         # Pareto(xm=1): mean = alpha/(alpha-1); rescale to the target mean.
         xm = self.mean_session_jobs * (alpha - 1.0) / alpha
-        draw = xm * (1.0 - rng.random()) ** (-1.0 / alpha)
-        return max(1, int(round(draw)))
+        draws = xm * (1.0 - u) ** (-1.0 / alpha)
+        return np.maximum(1, np.round(draws)).astype(np.int64)
+
+    # -- shared driver -----------------------------------------------------
+    def _draw_user_chunk(
+        self, child: np.random.Generator, n_sessions: int, cap: int, scale: float
+    ) -> tuple:
+        """One chunk of a user's stream: session lengths, then the per-job
+        and per-session draws sized by the capped job total.
+
+        Returns ``(lengths, runtimes, thinks, idles)`` with the last session
+        truncated so the chunk contributes at most *cap* jobs.
+        """
+        lengths = self._session_lengths(child.random(n_sessions))
+        cum = np.cumsum(lengths)
+        if int(cum[-1]) >= cap:
+            cut = int(np.searchsorted(cum, cap, side="left"))
+            lengths = lengths[: cut + 1].copy()
+            lengths[-1] = cap - (int(cum[cut - 1]) if cut else 0)
+        total = int(lengths.sum())
+        runtimes = self.base_runtime.sample(total, child) * scale
+        thinks = child.exponential(self.mean_think, total)
+        idles = child.exponential(self.mean_idle, n_sessions)[: lengths.size]
+        return lengths, runtimes, thinks, idles
+
+    @staticmethod
+    def _timeline(
+        lengths: np.ndarray,
+        runtimes: np.ndarray,
+        thinks: np.ndarray,
+        idles: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized submit times of one user's job sequence.
+
+        The first job of session s submits an idle period after the
+        previous job completes (``idles[0]`` from t=0 for the first); each
+        later job submits a think time after the previous job completes.
+        """
+        total = runtimes.size
+        gaps = thinks.copy()
+        ends = np.cumsum(lengths) - 1
+        gaps[ends[:-1]] = idles[1:]
+        deltas = np.empty(total)
+        deltas[0] = idles[0]
+        deltas[1:] = runtimes[:-1] + gaps[:-1]
+        return np.cumsum(deltas)
+
+    def _materialize_users(
+        self, n_jobs: int, rng: np.random.Generator, scales: List[float]
+    ) -> list:
+        """Grow every user's stream until the global first *n_jobs* events
+        are materialized.
+
+        Each user draws from an independent child stream, so per-user
+        consumption never interleaves; the coverage loop keeps extending
+        users (in session chunks) until the events at or before the
+        earliest per-user horizon cover *n_jobs*.  A user materializes at
+        most *n_jobs* own jobs: a capped user's horizon covers all of its
+        events, which both bounds heavy-tailed sessions and makes the loop
+        terminate.
+        """
+        children = spawn_children(rng, self.n_users)
+        per_session = self.mean_session_jobs
+        first_sessions = max(4, int(n_jobs / (self.n_users * per_session)) + 2)
+        users = []
+        for uid in range(self.n_users):
+            users.append(
+                {
+                    "child": children[uid],
+                    "lengths": [],
+                    "runtimes": [],
+                    "thinks": [],
+                    "idles": [],
+                    "total": 0,
+                }
+            )
+        self._extend_users(users, first_sessions, n_jobs, scales)
+        while True:
+            timelines = [
+                self._timeline(
+                    np.concatenate(u["lengths"]),
+                    np.concatenate(u["runtimes"]),
+                    np.concatenate(u["thinks"]),
+                    np.concatenate(u["idles"]),
+                )
+                for u in users
+            ]
+            horizon = min(float(t[-1]) for t in timelines)
+            covered = sum(
+                int(np.searchsorted(t, horizon, side="right")) for t in timelines
+            )
+            if covered >= n_jobs:
+                for u, t in zip(users, timelines):
+                    u["submits"] = t
+                return users
+            deficit = n_jobs - covered
+            active = sum(1 for u in users if u["total"] < n_jobs)
+            grow = max(4, int(deficit / (max(active, 1) * per_session)) + 2)
+            self._extend_users(users, grow, n_jobs, scales)
+
+    def _extend_users(
+        self, users: list, n_sessions: int, n_jobs: int, scales: list
+    ) -> None:
+        for uid, u in enumerate(users):
+            cap = n_jobs - u["total"]
+            if cap <= 0:
+                continue
+            lengths, runtimes, thinks, idles = self._draw_user_chunk(
+                u["child"], n_sessions, cap, scales[uid]
+            )
+            u["lengths"].append(lengths)
+            u["runtimes"].append(runtimes)
+            u["thinks"].append(thinks)
+            u["idles"].append(idles)
+            u["total"] += int(lengths.sum())
+
+    def _prepare(self, n_jobs: int, rng: np.random.Generator) -> tuple:
+        profiles = self._make_profiles(rng)
+        scales = [p.runtime_scale for p in profiles]
+        return profiles, self._materialize_users(n_jobs, rng, scales)
 
     # -- generation --------------------------------------------------------
     def _generate_arrays(self, n_jobs: int, rng: np.random.Generator) -> dict:
-        profiles = self._make_profiles(rng)
+        profiles, users = self._prepare(n_jobs, rng)
         submit = np.empty(n_jobs)
         run_time = np.empty(n_jobs)
         procs = np.empty(n_jobs, dtype=np.int64)
-        users = np.empty(n_jobs, dtype=np.int64)
+        user_col = np.empty(n_jobs, dtype=np.int64)
         execs = np.empty(n_jobs, dtype=np.int64)
         think = np.empty(n_jobs)
 
-        # Per-user event heap: (next submit time, user index, jobs left in
-        # the current session).  Sessions run jobs sequentially: each job's
-        # completion plus a think time triggers the next submit.
-        heap = []
-        for idx in range(self.n_users):
-            first = rng.exponential(self.mean_idle)
-            heapq.heappush(heap, (first, idx, self._session_length(rng)))
+        machine = self.machine_procs
+        streams = []
+        for u in users:
+            streams.append(
+                {
+                    "lengths": np.concatenate(u["lengths"]).tolist(),
+                    "runtimes": np.concatenate(u["runtimes"]).tolist(),
+                    "thinks": np.concatenate(u["thinks"]).tolist(),
+                    "idles": np.concatenate(u["idles"]).tolist(),
+                }
+            )
 
+        # Rebuild each user's timeline with a scalar accumulation loop (the
+        # oracle for the vectorized cumsum path), then k-way merge through a
+        # heap keyed on (submit, user) — ties resolve to the smaller user id
+        # and then submission order, exactly like the batched lexsort.
+        submits_scalar = []
+        for s in streams:
+            lengths = s["lengths"]
+            runtimes = s["runtimes"]
+            thinks = s["thinks"]
+            idles = s["idles"]
+            out = []
+            pos = 0
+            clock = 0.0
+            for sess, length in enumerate(lengths):
+                clock = clock + (idles[sess] if sess == 0 else 0.0)
+                for k in range(length):
+                    if pos > 0:
+                        prev_gap = (
+                            idles[sess] if k == 0 else thinks[pos - 1]
+                        )
+                        # Grouped like the vectorized runtimes + gaps then
+                        # cumsum, so the floating-point sums agree exactly.
+                        clock = clock + (runtimes[pos - 1] + prev_gap)
+                    out.append(clock)
+                    pos += 1
+            submits_scalar.append(out)
+
+        heap = [(subs[0], uid, 0) for uid, subs in enumerate(submits_scalar)]
+        heapq.heapify(heap)
         filled = 0
         while filled < n_jobs:
-            when, idx, jobs_left = heapq.heappop(heap)
-            profile = profiles[idx]
-            runtime = float(
-                self.base_runtime.sample(1, rng)[0] * profile.runtime_scale
-            )
+            when, uid, pos = heapq.heappop(heap)
+            profile = profiles[uid]
+            s = streams[uid]
             submit[filled] = when
-            run_time[filled] = runtime
-            procs[filled] = profile.size
-            users[filled] = profile.user_id
+            run_time[filled] = s["runtimes"][pos]
+            procs[filled] = min(max(profile.size, 1), machine)
+            user_col[filled] = profile.user_id
             execs[filled] = profile.executable_id
-            gap = rng.exponential(self.mean_think)
-            think[filled] = gap
+            think[filled] = s["thinks"][pos]
             filled += 1
-
-            if jobs_left > 1:
-                # Next job of the session: after this one "completes" (the
-                # pure-model stance: it runs immediately) plus think time.
-                heapq.heappush(heap, (when + runtime + gap, idx, jobs_left - 1))
-            else:
-                # Session over: the user goes idle, then starts a new one.
-                idle = rng.exponential(self.mean_idle)
-                heapq.heappush(
-                    heap, (when + runtime + idle, idx, self._session_length(rng))
-                )
+            nxt = pos + 1
+            subs = submits_scalar[uid]
+            if nxt < len(subs):
+                heapq.heappush(heap, (subs[nxt], uid, nxt))
 
         return {
             "submit_time": submit,
             "run_time": run_time,
-            "used_procs": np.clip(procs, 1, self.machine_procs),
-            "user_id": users,
+            "used_procs": procs,
+            "user_id": user_col,
             "executable_id": execs,
             "think_time": think,
+            "wait_time": np.zeros(n_jobs),
+        }
+
+    def _generate_arrays_batched(self, n_jobs: int, rng: np.random.Generator) -> dict:
+        profiles, users = self._prepare(n_jobs, rng)
+        all_submit = np.concatenate([u["submits"] for u in users])
+        all_runtime = np.concatenate(
+            [np.concatenate(u["runtimes"]) for u in users]
+        )
+        all_think = np.concatenate([np.concatenate(u["thinks"]) for u in users])
+        counts = [u["submits"].size for u in users]
+        all_uid = np.repeat(np.arange(self.n_users, dtype=np.int64), counts)
+        sizes = np.array([p.size for p in profiles], dtype=np.int64)
+
+        # Global merge: submit ascending, ties by user id then (stable)
+        # within-user submission order — the heap's exact pop order.
+        order = np.lexsort((all_uid, all_submit))[:n_jobs]
+        uid = all_uid[order]
+        return {
+            "submit_time": all_submit[order],
+            "run_time": all_runtime[order],
+            "used_procs": np.clip(sizes[uid], 1, self.machine_procs),
+            "user_id": uid,
+            "executable_id": uid,
+            "think_time": all_think[order],
             "wait_time": np.zeros(n_jobs),
         }

@@ -18,6 +18,8 @@ from __future__ import annotations
 import abc
 import math
 
+import numpy as np
+
 __all__ = [
     "ProcessorAllocator",
     "UnlimitedAllocator",
@@ -49,6 +51,42 @@ class ProcessorAllocator(abc.ABC):
             )
         return size
 
+    def _consumed_array(self, requested: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`consumed`; subclasses override with array math.
+
+        The base fallback keeps custom scalar-only allocators working with
+        the bulk API at loop speed.
+        """
+        return np.array(
+            [self.consumed(int(r)) for r in requested], dtype=np.int64
+        )
+
+    def validate_array(self, requested, machine_procs: int) -> np.ndarray:
+        """Bulk :meth:`validate`: consumed sizes for a whole job stream.
+
+        Raises for the first offending job in array order, with the same
+        messages as the scalar path.
+        """
+        req = np.asarray(requested, dtype=np.int64)
+        if req.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        bad = np.flatnonzero(req < 1)
+        # Jobs before the first bad size are all eligible for the consumed
+        # check, so the first offender matches the scalar loop's in-order
+        # behaviour even when both error kinds are present.
+        limit = int(bad[0]) if bad.size else req.size
+        consumed = self._consumed_array(req[:limit])
+        over = np.flatnonzero(consumed > machine_procs)
+        if over.size:
+            i = over[0]
+            raise ValueError(
+                f"job of size {int(req[i])} consumes {int(consumed[i])} "
+                f"processors, more than the machine's {machine_procs}"
+            )
+        if bad.size:
+            raise ValueError(f"job size must be >= 1, got {int(req[bad[0]])}")
+        return consumed
+
 
 class UnlimitedAllocator(ProcessorAllocator):
     """Rank 3: any subset of the nodes can be used (SP2 with LoadLeveler)."""
@@ -57,6 +95,9 @@ class UnlimitedAllocator(ProcessorAllocator):
 
     def consumed(self, requested: int) -> int:
         return int(requested)
+
+    def _consumed_array(self, requested: np.ndarray) -> np.ndarray:
+        return requested.copy()
 
     def __repr__(self) -> str:
         return "UnlimitedAllocator()"
@@ -80,6 +121,18 @@ class PowerOfTwoAllocator(ProcessorAllocator):
         size = max(int(requested), self.min_size)
         return 1 << max(size - 1, 0).bit_length() if size > 1 else 1
 
+    def _consumed_array(self, requested: np.ndarray) -> np.ndarray:
+        size = np.maximum(requested, self.min_size)
+        # Branchless next-power-of-two: 2**ceil(log2(size)) via the bit
+        # length of size-1, with size <= 1 mapping to 1.
+        bits = np.zeros_like(size)
+        work = np.maximum(size - 1, 0)
+        while np.any(work):
+            nonzero = work > 0
+            bits[nonzero] += 1
+            work >>= 1
+        return np.where(size > 1, np.int64(1) << bits, 1)
+
     def __repr__(self) -> str:
         return f"PowerOfTwoAllocator(min_size={self.min_size})"
 
@@ -99,6 +152,9 @@ class LimitedAllocator(ProcessorAllocator):
 
     def consumed(self, requested: int) -> int:
         return self.block * math.ceil(int(requested) / self.block)
+
+    def _consumed_array(self, requested: np.ndarray) -> np.ndarray:
+        return self.block * -(-requested // self.block)
 
     def __repr__(self) -> str:
         return f"LimitedAllocator(block={self.block})"

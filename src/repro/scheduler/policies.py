@@ -45,6 +45,14 @@ class Scheduler(abc.ABC):
 
     name: str = "scheduler"
 
+    #: Declares that once :meth:`select` returns no jobs, it keeps
+    #: returning no jobs until a processor frees up, no matter how many
+    #: jobs arrive behind the blocked head.  True for policies that never
+    #: let a later job overtake an earlier one (FCFS); backfilling
+    #: policies must leave it False.  The simulator's fast path uses this
+    #: to skip provably-empty policy calls.
+    tail_blind: bool = False
+
     @abc.abstractmethod
     def select(
         self,
@@ -74,6 +82,7 @@ class FcfsScheduler(Scheduler):
     the queue (the NQS-style baseline, flexibility rank 1)."""
 
     name = "FCFS"
+    tail_blind = True
 
     def select(self, clock, queue, free, running):
         started = []

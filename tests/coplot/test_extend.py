@@ -104,3 +104,81 @@ class TestBootstrapStability:
             y, labels=labels, signs=list(FIGURE2_SIGNS), n_boot=8, seed=0
         )
         assert report.mean_disparity < 0.4
+
+
+class TestBootstrapEngines:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_engines_agree(self, seed):
+        rng = np.random.default_rng(7)
+        y = rng.normal(size=(12, 16)) + np.linspace(0, 3, 16)
+        ref = bootstrap_stability(y, n_boot=6, seed=seed, engine="reference")
+        fast = bootstrap_stability(y, n_boot=6, seed=seed, engine="batched")
+        assert ref.labels == fast.labels
+        np.testing.assert_allclose(
+            ref.positional_spread, fast.positional_spread, atol=1e-10
+        )
+        assert ref.mean_disparity == pytest.approx(fast.mean_disparity, abs=1e-10)
+        np.testing.assert_array_equal(ref.reference, fast.reference)
+
+    def test_engines_agree_with_missing_cells(self):
+        rng = np.random.default_rng(3)
+        y = rng.normal(size=(10, 12)) + np.linspace(0, 2, 12)
+        y[2, 4] = np.nan
+        y[7, 9] = np.nan
+        ref = bootstrap_stability(y, n_boot=4, seed=1, engine="reference")
+        fast = bootstrap_stability(y, n_boot=4, seed=1, engine="batched")
+        np.testing.assert_allclose(
+            ref.positional_spread, fast.positional_spread, atol=1e-10
+        )
+
+    def test_engines_agree_under_custom_coplot(self):
+        rng = np.random.default_rng(9)
+        y = rng.normal(size=(9, 10))
+        cp = Coplot(n_init=3, transform="isotonic", seed=4, ddof=1)
+        ref = bootstrap_stability(y, n_boot=4, coplot=cp, seed=2, engine="reference")
+        fast = bootstrap_stability(y, n_boot=4, coplot=cp, seed=2, engine="batched")
+        np.testing.assert_allclose(
+            ref.positional_spread, fast.positional_spread, atol=1e-10
+        )
+
+    def test_invalid_engine(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="engine"):
+            bootstrap_stability(rng.normal(size=(8, 6)), engine="warp")
+
+
+class TestProjectionDissimVectorized:
+    def test_matches_scalar_city_block_dense(self, fitted):
+        from repro.coplot.dissimilarity import city_block
+        from repro.coplot.extend import _column_norms, _dissim_to_rows
+
+        y, result = fitted
+        rng = np.random.default_rng(5)
+        new = rng.normal(size=y.shape[1])
+        means, stds = _column_norms(result.y)
+        z_new = (new - means) / stds
+        old = np.array([city_block(z_new, row) for row in result.z])
+        np.testing.assert_array_equal(_dissim_to_rows(z_new, result.z), old)
+
+    def test_matches_scalar_city_block_with_nans(self):
+        from repro.coplot.dissimilarity import city_block
+        from repro.coplot.extend import _dissim_to_rows
+
+        rng = np.random.default_rng(6)
+        z = rng.normal(size=(8, 10))
+        z[1, 3] = np.nan
+        z[5, 8] = np.nan
+        z_new = rng.normal(size=10)
+        z_new[2] = np.nan
+        old = np.array([city_block(z_new, row) for row in z])
+        np.testing.assert_allclose(
+            _dissim_to_rows(z_new, z), old, rtol=1e-12, atol=0
+        )
+
+    def test_no_shared_variables_raises(self):
+        from repro.coplot.extend import _dissim_to_rows
+
+        z = np.full((4, 3), np.nan)
+        z[0] = [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError, match="share no present variables"):
+            _dissim_to_rows(np.array([1.0, np.nan, 2.0]), np.array([[np.nan] * 3]))

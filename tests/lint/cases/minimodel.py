@@ -1,0 +1,42 @@
+"""Seeded true positives: entropy in a model-sampler shape.
+
+``sample_batch`` builds its sampler stream from fresh OS entropy
+(REP002) — every process start draws a different synthetic workload.
+``submit_model_run`` derives a sampler kwarg from an unseeded generator
+through a helper (``entropy_seed``) and keys the result cache on it
+(REP008); only the interprocedural returns-summary propagation can see
+the generator behind the ``int(...)`` conversion.  ``submit_pinned``
+keys on an explicit caller-provided seed and must stay unflagged.
+"""
+
+import numpy as np
+
+
+class ResultCache:
+    def key(self, experiment, kwargs):
+        return f"{experiment}:{sorted(kwargs.items())}"
+
+
+class SamplerModel:
+    def generate(self, n_jobs, seed):
+        rng = np.random.default_rng(seed)
+        return rng.exponential(1.0, n_jobs)
+
+
+def sample_batch(n_jobs):
+    rng = np.random.default_rng()  # seeded REP002: fresh-entropy sampler stream
+    return rng.exponential(1.0, n_jobs)
+
+
+def entropy_seed():
+    gen = np.random.default_rng()  # repro-lint: disable=REP002 -- seeding the taint under test
+    return int(gen.integers(0, 2**31))
+
+
+def submit_model_run(cache: ResultCache, n_jobs):
+    seed = entropy_seed()
+    return cache.key("generate", {"n_jobs": n_jobs, "seed": seed})  # seeded REP008: tainted sampler kwarg
+
+
+def submit_pinned(cache: ResultCache, n_jobs, seed):
+    return cache.key("generate", {"n_jobs": n_jobs, "seed": seed})  # pure: must NOT be flagged

@@ -45,10 +45,10 @@ class TestSeededCases:
         tree = tmp_path / "cases"
         shutil.copytree(CASES, tree)
         findings, scanned = lint_paths([tree], config=LintConfig())
-        assert scanned == 2
+        assert scanned == 3
         located = {(Path(f.path).name, f.line, f.code) for f in findings}
         # Exact set equality also proves the clean counterparts
-        # (mark_done, submit_clean) are NOT flagged.
+        # (mark_done, submit_clean, submit_pinned) are NOT flagged.
         assert located == {
             (
                 "miniapp.py",
@@ -59,6 +59,16 @@ class TestSeededCases:
                 "miniapp.py",
                 _marker_line(tree / "miniapp.py", "seeded REP009"),
                 "REP009",
+            ),
+            (
+                "minimodel.py",
+                _marker_line(tree / "minimodel.py", "seeded REP002"),
+                "REP002",
+            ),
+            (
+                "minimodel.py",
+                _marker_line(tree / "minimodel.py", "seeded REP008"),
+                "REP008",
             ),
             (
                 "ministore.py",
@@ -367,4 +377,9 @@ class TestSuppressions:
         assert [f for f in findings if f.code == "REP010"] == []
         # The other seeded findings still land: the exclusion is
         # per-rule, not per-file.
-        assert sorted(f.code for f in findings) == ["REP008", "REP009"]
+        assert sorted(f.code for f in findings) == [
+            "REP002",
+            "REP008",
+            "REP008",
+            "REP009",
+        ]

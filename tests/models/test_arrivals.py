@@ -1,0 +1,116 @@
+"""Property tests for the open/closed-loop arrival front ends."""
+
+import numpy as np
+import pytest
+
+from repro.models import ClosedLoopArrivals, LublinModel, OpenLoopArrivals
+
+
+class TestOpenLoop:
+    def test_rate_matches_configuration(self):
+        proc = OpenLoopArrivals(mean_active_users=30.0, per_user_rate_per_min=2.0)
+        times = proc.sample_times(20_000, seed=0)
+        measured = (times.size - 1) / (times[-1] - times[0])
+        assert measured == pytest.approx(proc.expected_rate(), rel=0.05)
+
+    def test_times_sorted_and_nonnegative(self):
+        times = OpenLoopArrivals(5.0, 1.0).sample_times(5_000, seed=1)
+        assert np.all(np.diff(times) >= 0)
+        assert np.all(times >= 0)
+
+    def test_deterministic_under_seed(self):
+        proc = OpenLoopArrivals(10.0, 3.0)
+        np.testing.assert_array_equal(
+            proc.sample_times(2_000, seed=5), proc.sample_times(2_000, seed=5)
+        )
+        assert not np.array_equal(
+            proc.sample_times(2_000, seed=5), proc.sample_times(2_000, seed=6)
+        )
+
+    def test_normal_user_distribution(self):
+        proc = OpenLoopArrivals(
+            20.0, 2.0, users_distribution="normal", users_std=5.0
+        )
+        times = proc.sample_times(15_000, seed=2)
+        measured = (times.size - 1) / (times[-1] - times[0])
+        assert measured == pytest.approx(proc.expected_rate(), rel=0.08)
+
+    def test_burstier_than_plain_poisson(self):
+        # Doubly-stochastic arrivals overdisperse window counts relative
+        # to a Poisson process of the same mean rate.
+        proc = OpenLoopArrivals(10.0, 6.0, window_s=60.0, users_std=None)
+        times = proc.sample_times(30_000, seed=3)
+        counts = np.bincount((times // 60.0).astype(int))[:-1]
+        assert counts.var() > 1.2 * counts.mean()
+
+    def test_drive_replaces_arrivals_only(self):
+        model = LublinModel()
+        proc = OpenLoopArrivals(25.0, 4.0)
+        driven = proc.drive(model, 2_000, seed=0)
+        assert len(driven) == 2_000
+        assert np.all(np.diff(driven.column("submit_time")) >= 0)
+        from repro.util.rng import spawn_children
+
+        model_rng, _ = spawn_children(0, 2)
+        native = model.generate(2_000, seed=model_rng)
+        # Same job bodies, different arrival pattern.
+        assert np.array_equal(
+            np.sort(driven.column("run_time")), np.sort(native.column("run_time"))
+        )
+        assert not np.array_equal(
+            driven.column("submit_time"), native.column("submit_time")
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="users_distribution"):
+            OpenLoopArrivals(5.0, 1.0, users_distribution="uniform")
+        with pytest.raises(ValueError):
+            OpenLoopArrivals(0.0, 1.0)
+        with pytest.raises(ValueError, match="n_jobs"):
+            OpenLoopArrivals(5.0, 1.0).sample_times(0)
+
+
+class TestClosedLoop:
+    def test_throughput_law_when_think_dominates(self):
+        # With think times far above runtimes the closed-loop law
+        # U / (E[runtime] + think) pins the measured rate; heavy-tailed
+        # runtimes only perturb it through the slowest user's span.
+        model = LublinModel()
+        loop = ClosedLoopArrivals(n_users=8, mean_think_s=1_000_000.0)
+        driven = loop.drive(model, 4_000, seed=0)
+        submit = driven.column("submit_time")
+        measured = (submit.size - 1) / (submit[-1] - submit[0])
+        mean_rt = float(driven.column("run_time").mean())
+        assert measured == pytest.approx(loop.expected_rate(mean_rt), rel=0.25)
+
+    def test_users_dealt_round_robin(self):
+        loop = ClosedLoopArrivals(n_users=4, mean_think_s=100.0)
+        driven = loop.drive(LublinModel(), 1_000, seed=1)
+        users = driven.column("user_id")
+        assert set(np.unique(users)) == {0, 1, 2, 3}
+        assert np.all(driven.column("think_time") >= 0)
+
+    def test_self_throttling(self):
+        # Doubling the population doubles the offered rate.
+        model = LublinModel()
+        slow = ClosedLoopArrivals(n_users=4, mean_think_s=500_000.0)
+        fast = ClosedLoopArrivals(n_users=8, mean_think_s=500_000.0)
+        s = slow.drive(model, 3_000, seed=2).column("submit_time")
+        f = fast.drive(model, 3_000, seed=2).column("submit_time")
+        rate_s = (s.size - 1) / (s[-1] - s[0])
+        rate_f = (f.size - 1) / (f[-1] - f[0])
+        assert rate_f / rate_s == pytest.approx(2.0, rel=0.2)
+
+    def test_deterministic_under_seed(self):
+        loop = ClosedLoopArrivals(n_users=3, mean_think_s=50.0)
+        a = loop.drive(LublinModel(), 500, seed=4)
+        b = loop.drive(LublinModel(), 500, seed=4)
+        np.testing.assert_array_equal(
+            a.column("submit_time"), b.column("submit_time")
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_users"):
+            ClosedLoopArrivals(n_users=0, mean_think_s=10.0)
+        with pytest.raises(ValueError):
+            ClosedLoopArrivals(n_users=2, mean_think_s=0.0)

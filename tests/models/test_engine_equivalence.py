@@ -1,0 +1,119 @@
+"""Bit-for-bit equivalence of the batched model samplers vs their scalar
+reference oracles.
+
+Every model that grew an ``engine="batched"`` sampler keeps its original
+scalar generation loop as ``engine="reference"``; these tests pin the
+tentpole claim that both consume the identical RNG stream and emit the
+identical job arrays — not approximately, bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    Feitelson96Model,
+    JannModel,
+    LublinModel,
+    UserSessionModel,
+    create_model,
+)
+from repro.workload.fields import FIELD_NAMES
+
+SEEDS = list(range(5))
+
+
+def assert_streams_identical(a, b):
+    assert len(a) == len(b)
+    for name in FIELD_NAMES:
+        np.testing.assert_array_equal(
+            a.column(name), b.column(name), err_msg=f"column {name}"
+        )
+
+
+def both(model, n_jobs, seed):
+    return (
+        model.generate(n_jobs, seed=seed, engine="batched"),
+        model.generate(n_jobs, seed=seed, engine="reference"),
+    )
+
+
+class TestLublinEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bitwise_across_seeds(self, seed):
+        assert_streams_identical(*both(LublinModel(), 3000, seed))
+
+    def test_single_job(self):
+        assert_streams_identical(*both(LublinModel(), 1, 0))
+
+    def test_single_processor_machine(self):
+        assert_streams_identical(*both(LublinModel(machine_procs=1), 500, 2))
+
+    def test_flat_daily_cycle(self):
+        assert_streams_identical(*both(LublinModel(cycle_amplitude=0.0), 800, 1))
+
+    def test_extreme_daily_cycle(self):
+        assert_streams_identical(*both(LublinModel(cycle_amplitude=0.95), 800, 3))
+
+
+class TestFeitelson96Equivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bitwise_across_seeds(self, seed):
+        assert_streams_identical(*both(Feitelson96Model(), 3000, seed))
+
+    def test_single_job(self):
+        assert_streams_identical(*both(Feitelson96Model(), 1, 0))
+
+    def test_repeat_truncation_boundary(self):
+        # Small n_jobs exercises cutting the final repeat group mid-run.
+        for n in (2, 3, 7, 17):
+            assert_streams_identical(*both(Feitelson96Model(), n, 4))
+
+
+class TestJannEquivalence:
+    @pytest.fixture(scope="class")
+    def model(self, synthesized_ctc):
+        return JannModel.fit(synthesized_ctc)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bitwise_across_seeds(self, model, seed):
+        assert_streams_identical(*both(model, 2000, seed))
+
+    def test_single_job(self, model):
+        assert_streams_identical(*both(model, 1, 0))
+
+
+class TestUserSessionEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bitwise_across_seeds(self, seed):
+        assert_streams_identical(*both(UserSessionModel(n_users=16), 2500, seed))
+
+    def test_single_job(self):
+        assert_streams_identical(*both(UserSessionModel(n_users=4), 1, 0))
+
+    def test_single_user(self):
+        assert_streams_identical(*both(UserSessionModel(n_users=1), 400, 1))
+
+    def test_single_processor_machine(self):
+        assert_streams_identical(
+            *both(UserSessionModel(n_users=8, machine_procs=1), 600, 2)
+        )
+
+
+class TestEngineSelection:
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            LublinModel().generate(10, seed=0, engine="turbo")
+
+    def test_registry_threads_engine(self):
+        m = create_model("Lublin", engine="reference")
+        assert m.engine == "reference"
+        assert_streams_identical(
+            m.generate(300, seed=5), LublinModel().generate(300, seed=5)
+        )
+
+    def test_per_call_engine_overrides_instance(self):
+        m = LublinModel()
+        m.engine = "reference"
+        a = m.generate(300, seed=6, engine="batched")
+        b = LublinModel().generate(300, seed=6)
+        assert_streams_identical(a, b)

@@ -1,10 +1,12 @@
 """Tests for the processor allocators."""
 
+import numpy as np
 import pytest
 
 from repro.scheduler import (
     LimitedAllocator,
     PowerOfTwoAllocator,
+    ProcessorAllocator,
     UnlimitedAllocator,
     allocator_for_flexibility,
 )
@@ -82,3 +84,58 @@ class TestFactory:
     def test_bad_rank(self):
         with pytest.raises(ValueError):
             allocator_for_flexibility(4)
+
+
+class TestValidateArray:
+    ALLOCATORS = [
+        UnlimitedAllocator(),
+        PowerOfTwoAllocator(),
+        PowerOfTwoAllocator(min_size=32),
+        LimitedAllocator(block=4),
+    ]
+
+    def test_matches_scalar_validate(self):
+        rng = np.random.default_rng(0)
+        requested = rng.integers(1, 60, 500)
+        for alloc in self.ALLOCATORS:
+            expected = np.array(
+                [alloc.validate(int(r), 128) for r in requested], dtype=np.int64
+            )
+            np.testing.assert_array_equal(
+                alloc.validate_array(requested, 128), expected
+            )
+
+    def test_empty_input(self):
+        out = UnlimitedAllocator().validate_array(np.array([], dtype=int), 64)
+        assert out.size == 0 and out.dtype == np.int64
+
+    def test_size_error_matches_scalar_message(self):
+        req = np.array([4, 8, 0, 2])
+        with pytest.raises(ValueError, match="must be >= 1, got 0"):
+            UnlimitedAllocator().validate_array(req, 64)
+
+    def test_oversubscription_error_matches_scalar_message(self):
+        req = np.array([4, 200, 2])
+        with pytest.raises(ValueError, match="more"):
+            UnlimitedAllocator().validate_array(req, 64)
+
+    def test_first_offender_in_array_order_wins(self):
+        # An oversized job *before* an invalid one raises the consumed
+        # error, exactly as the scalar loop would.
+        req = np.array([4, 200, 0])
+        with pytest.raises(ValueError, match="consumes"):
+            UnlimitedAllocator().validate_array(req, 64)
+        # And an invalid job before an oversized one raises the size error.
+        req = np.array([4, 0, 200])
+        with pytest.raises(ValueError, match="must be >= 1"):
+            UnlimitedAllocator().validate_array(req, 64)
+
+    def test_scalar_fallback_for_custom_allocators(self):
+        class DoubleAllocator(ProcessorAllocator):
+            flexibility = 2
+
+            def consumed(self, requested: int) -> int:
+                return 2 * int(requested)
+
+        out = DoubleAllocator().validate_array(np.array([1, 2, 3]), 64)
+        np.testing.assert_array_equal(out, [2, 4, 6])
